@@ -1,0 +1,62 @@
+"""Ablation: fabric geometry — DynaSpAM's stripes vs a CCA-like triangle.
+
+Table 7 positions DynaSpAM against CCA: CCA targets *subgraphs* (a small
+triangle of integer units, no pass registers, inputs only at the top row)
+while DynaSpAM targets kernel-scale traces.  This bench maps every
+distinct hot window of every benchmark onto both geometries and measures
+how much of the hot-trace population each can accept, plus a stripe-depth
+sweep of the DynaSpAM geometry.
+"""
+
+from benchmarks.conftest import run_once
+from benchmarks.bench_ablation_naive import windows_of
+from repro.core.mapper import ResourceAwareMapper
+from repro.fabric.config import cca_like, FabricConfig
+from repro.harness.reporting import format_table
+from repro.workloads import ALL_ABBREVS
+
+
+def acceptance(scale):
+    geometries = {
+        "cca_like": cca_like(),
+        "dynaspam_8": FabricConfig(num_stripes=8),
+        "dynaspam_16": FabricConfig(num_stripes=16),
+    }
+    rows = []
+    totals = {name: 0 for name in geometries}
+    total_windows = 0
+    for abbrev in sorted(ALL_ABBREVS):
+        windows = windows_of(abbrev, scale)
+        total_windows += len(windows)
+        mapped = {}
+        for name, config in geometries.items():
+            mapper = ResourceAwareMapper(config)
+            mapped[name] = sum(
+                mapper.map_trace(w.instructions, w.key) is not None
+                for w in windows
+            )
+            totals[name] += mapped[name]
+        rows.append([abbrev, len(windows)] + [mapped[n] for n in geometries])
+    return rows, totals, total_windows, list(geometries)
+
+
+def test_ablation_fabric_geometry(benchmark, scale):
+    rows, totals, total_windows, names = run_once(
+        benchmark, lambda: acceptance(scale)
+    )
+    print()
+    print(format_table(
+        ["Benchmark", "hot windows"] + names,
+        rows,
+        title="Ablation: hot-trace acceptance by fabric geometry",
+    ))
+    print(f"totals over {total_windows} windows: " +
+          ", ".join(f"{n}={totals[n]}" for n in names))
+
+    # The CCA-like subgraph fabric accepts far fewer kernel-scale traces
+    # than DynaSpAM's stripe fabric (Table 7's Subgraph-vs-Kernel row).
+    assert totals["cca_like"] < 0.5 * totals["dynaspam_16"]
+    # Deeper fabrics accept at least as many traces.
+    assert totals["dynaspam_16"] >= totals["dynaspam_8"]
+    # The shipping 16-stripe geometry accepts the majority of hot windows.
+    assert totals["dynaspam_16"] > 0.6 * total_windows

@@ -1,0 +1,58 @@
+"""Ablation: branch predictor quality vs DynaSpAM effectiveness.
+
+DynaSpAM leans on the host branch predictor twice: the fetch stage uses it
+to recognize upcoming hot traces, and every offloaded invocation bets on
+three predicted outcomes.  This bench swaps the direction predictor
+(bimodal / gshare / tournament) and measures how prediction quality moves
+trace squash rates and the accelerated speedup.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core import DynaSpAM, DynaSpAMConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import geomean
+from repro.ooo.config import CoreConfig
+from repro.ooo.pipeline import OOOPipeline
+from repro.workloads import generate_trace
+
+KERNELS = ("KM", "BFS", "BT", "NW", "HS")
+KINDS = ("bimodal", "gshare", "tournament")
+
+
+def sweep(scale):
+    rows = []
+    speedups = {kind: [] for kind in KINDS}
+    for abbrev in KERNELS:
+        run = generate_trace(abbrev, scale)
+        row = [abbrev]
+        for kind in KINDS:
+            core = CoreConfig(predictor_kind=kind)
+            base = OOOPipeline(core).run_trace(run.trace)
+            machine = DynaSpAM(core_config=CoreConfig(predictor_kind=kind),
+                               ds_config=DynaSpAMConfig())
+            out = machine.run(run.trace, run.program)
+            speedup = base.cycles / out.cycles
+            speedups[kind].append(speedup)
+            accuracy = 1.0 - (
+                out.stats.branch_mispredicts
+                / max(1, out.stats.predictor_lookups)
+            )
+            row.append(f"{speedup:.2f} ({accuracy:.0%}, sq={out.squashes})")
+        rows.append(row)
+    return rows, {kind: geomean(vals) for kind, vals in speedups.items()}
+
+
+def test_ablation_branch_predictor(benchmark, scale):
+    rows, geomeans = run_once(benchmark, lambda: sweep(scale))
+    print()
+    print(format_table(
+        ["Benchmark"] + [f"{kind}" for kind in KINDS],
+        rows,
+        title="Ablation: predictor kind -> speedup (accuracy, squashes)",
+    ))
+    print("geomeans: " + ", ".join(
+        f"{kind}={value:.2f}" for kind, value in geomeans.items()))
+
+    # The tournament predictor never loses materially to its components.
+    assert geomeans["tournament"] >= geomeans["bimodal"] * 0.95
+    assert geomeans["tournament"] >= geomeans["gshare"] * 0.95

@@ -1,0 +1,54 @@
+"""Ablation: workload-tuned FU mixes (the paper's future-work study).
+
+For each benchmark, profiles the instruction mix, proposes a tuned
+per-stripe PE apportionment under the default 12-PE budget, and compares
+the tuned fabric against the Table 4 default on speedup per mm².
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.tuning import evaluate_mix, FabricTuner
+from repro.fabric.config import FabricConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import geomean
+from repro.workloads import ALL_ABBREVS, generate_trace
+from repro.workloads.characterize import characterize
+
+
+def sweep(scale):
+    tuner = FabricTuner(pe_budget=12)
+    rows = []
+    default_effs = []
+    tuned_effs = []
+    for abbrev in sorted(ALL_ABBREVS):
+        run = generate_trace(abbrev, scale)
+        profile = characterize(abbrev, run.trace)
+        mix = tuner.propose([profile])
+        default = evaluate_mix(run, FabricConfig())
+        tuned = evaluate_mix(run, tuner.fabric_config(mix))
+        rows.append([
+            abbrev,
+            f"{default.speedup:.2f}@{default.fabric_area_mm2:.1f}mm2",
+            f"{tuned.speedup:.2f}@{tuned.fabric_area_mm2:.1f}mm2",
+            round(default.speedup_per_mm2, 2),
+            round(tuned.speedup_per_mm2, 2),
+        ])
+        default_effs.append(max(default.speedup_per_mm2, 1e-9))
+        tuned_effs.append(max(tuned.speedup_per_mm2, 1e-9))
+    return rows, geomean(default_effs), geomean(tuned_effs)
+
+
+def test_ablation_workload_tuned_mix(benchmark, scale):
+    rows, default_eff, tuned_eff = run_once(benchmark, lambda: sweep(scale))
+    print()
+    print(format_table(
+        ["Benchmark", "default", "tuned", "default speedup/mm2",
+         "tuned speedup/mm2"],
+        rows,
+        title="Ablation: Table 4 FU mix vs workload-tuned mix (12-PE budget)",
+    ))
+    print(f"geomean speedup/mm^2: default {default_eff:.2f}, "
+          f"tuned {tuned_eff:.2f}")
+
+    # Tuning to the workload's own mix should not lose area efficiency in
+    # aggregate (it reallocates idle units into demanded pools).
+    assert tuned_eff >= default_eff * 0.9

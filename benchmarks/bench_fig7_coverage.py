@@ -1,0 +1,37 @@
+"""Figure 7: trace coverage at trace lengths 16-40.
+
+Regenerates the stacked host/mapping/fabric coverage bars and checks the
+paper's shape claims: only a small fraction of instructions execute during
+mapping, coverage is substantial for loop-dominated kernels, and the
+coverage-dip effect exists (a longer trace can *reduce* coverage when it
+straddles a block boundary — the paper's NW@24 / SRAD@40 discussion).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import figure7_coverage
+
+
+def test_fig7_coverage(benchmark, scale):
+    result = run_once(benchmark, lambda: figure7_coverage(scale))
+    print()
+    print(result.render())
+
+    for abbrev, per_length in result.coverage.items():
+        for length, parts in per_length.items():
+            assert abs(sum(parts.values()) - 1.0) < 1e-9
+            # "a small fraction of instructions are executed during the
+            # mapping phase for all programs"
+            assert parts["mapping"] < 0.15, (abbrev, length, parts)
+
+    # Loop-dominated kernels reach substantial fabric coverage at length 32.
+    for abbrev in ("KM", "KNN", "NW", "PF", "SRAD", "HS"):
+        assert result.coverage[abbrev][32]["fabric"] > 0.4, abbrev
+
+    # The coverage-vs-length curve is non-monotonic somewhere: a longer
+    # trace that straddles a block boundary loses coverage.
+    dips = 0
+    for abbrev, per_length in result.coverage.items():
+        series = [per_length[n]["fabric"] for n in result.lengths]
+        if any(b < a - 0.02 for a, b in zip(series, series[1:])):
+            dips += 1
+    assert dips >= 1, "no benchmark shows the block-boundary coverage dip"

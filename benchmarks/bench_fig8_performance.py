@@ -1,0 +1,35 @@
+"""Figure 8: performance of DynaSpAM vs the host OOO pipeline.
+
+Regenerates the paper's three bar series — mapping only, acceleration
+without memory speculation, acceleration with speculation — and checks the
+shape claims: small mapping overhead, a w/o-speculation geomean near the
+paper's 1.23x with NW regressing, and a w/-speculation geomean in the
+paper's 1.42x band with no benchmark slowing down materially.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import figure8_performance
+
+
+def test_fig8_performance(benchmark, scale):
+    result = run_once(benchmark, lambda: figure8_performance(scale))
+    print()
+    print(result.render())
+
+    spec = result.series_geomean("spec")
+    no_spec = result.series_geomean("no_spec")
+    mapping = result.series_geomean("mapping")
+
+    # Paper: geomean 1.42x with speculation, 1.23x without, <3% mapping
+    # overhead.  Shape bands, not exact numbers:
+    assert 1.25 <= spec <= 1.70, f"w/ speculation geomean {spec:.2f}"
+    assert 1.05 <= no_spec <= 1.45, f"w/o speculation geomean {no_spec:.2f}"
+    assert mapping >= 0.90, f"mapping-only geomean {mapping:.2f}"
+    # Speculation must matter, and must matter most for the memory-heavy
+    # kernels (paper: NW and SRAD regress without speculation).
+    assert spec > no_spec
+    nw = result.speedups["NW"]
+    srad = result.speedups["SRAD"]
+    assert nw["no_spec"] < 1.05, "NW should (nearly) regress w/o speculation"
+    assert nw["spec"] > nw["no_spec"] + 0.2
+    assert srad["spec"] > srad["no_spec"] + 0.2

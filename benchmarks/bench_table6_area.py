@@ -1,0 +1,21 @@
+"""Table 6: area comparison.
+
+Regenerates the module-area table, the composed fabric area (paper:
+2.9 mm^2 at 8 stripes), and the configuration-cache area (paper:
+0.003 mm^2).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import table6_area
+
+
+def test_table6_area(benchmark):
+    result = run_once(benchmark, table6_area)
+    print()
+    print(result.render())
+
+    assert abs(result.fabric_8_stripes_mm2 - 2.9) < 0.15
+    assert 0.001 < result.config_cache_mm2 < 0.01
+    assert result.fabric_16_stripes_mm2 > result.fabric_8_stripes_mm2
+    # The datapath block is almost as large as an integer ALU (paper text).
+    assert 0.8 < result.modules["data_path"] / result.modules["sparc_exu_alu"] < 1.2

@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` controls the problem-size scale of the benchmark
+harness runs (default 0.4: tens of thousands of dynamic instructions per
+kernel, enough for trace detection to reach steady state while keeping a
+full ``pytest benchmarks/ --benchmark-only`` run to a few minutes).  Set it
+to 1.0 to reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Design-space exploration: fabric geometry vs performance vs area.
+
+Sweeps the number of stripes and the number of on-chip fabrics for a
+benchmark, reporting speedup over the baseline next to the silicon cost
+from the Table 6 area model — the kind of study the paper's "future work"
+paragraph proposes (adjusting functional-unit counts to workload mix).
+
+Run:  python examples/custom_fabric.py [abbrev] [scale]
+"""
+
+import sys
+
+from repro.core import DynaSpAM, DynaSpAMConfig
+from repro.energy import FabricAreaModel
+from repro.fabric.config import FabricConfig
+from repro.ooo import OOOPipeline
+from repro.workloads import generate_trace
+
+
+def main() -> None:
+    abbrev = sys.argv[1] if len(sys.argv) > 1 else "HS"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    run = generate_trace(abbrev, scale)
+    baseline = OOOPipeline().run_trace(run.trace)
+    print(f"{abbrev}: baseline {baseline.cycles} cycles\n")
+    print(f"{'stripes':>8} {'fabrics':>8} {'speedup':>8} "
+          f"{'area mm^2':>10} {'speedup/mm^2':>13}")
+
+    area_model = FabricAreaModel()
+    for num_stripes in (4, 8, 16):
+        for num_fabrics in (1, 2):
+            fabric_config = FabricConfig(num_stripes=num_stripes)
+            machine = DynaSpAM(
+                fabric_config=fabric_config,
+                ds_config=DynaSpAMConfig(num_fabrics=num_fabrics),
+            )
+            result = machine.run(run.trace, run.program)
+            speedup = baseline.cycles / result.cycles
+            area = num_fabrics * area_model.fabric_area_mm2(num_stripes)
+            print(f"{num_stripes:>8} {num_fabrics:>8} {speedup:>8.2f} "
+                  f"{area:>10.2f} {speedup / area:>13.2f}")
+
+    print("\nSmaller fabrics reject deep traces (mapping failures) but are")
+    print("far cheaper; the paper's 8-stripe point is the balance it ships.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Future work, implemented: tune the fabric's FU mix to a workload.
+
+The paper closes its area section with: "research will be done to adjust
+the number of functional units according to instruction type
+distributions of the benchmarks."  This example profiles a benchmark's
+instruction mix, lets ``FabricTuner`` apportion a per-stripe PE budget to
+match, and compares the tuned fabric against the default Table 4 mix on
+both performance and silicon.
+
+Run:  python examples/tune_fabric.py [abbrev] [scale]
+"""
+
+import sys
+
+from repro.core.tuning import evaluate_mix, FabricTuner
+from repro.fabric.config import FabricConfig
+from repro.workloads import generate_trace
+from repro.workloads.characterize import characterize
+
+
+def main() -> None:
+    abbrev = sys.argv[1] if len(sys.argv) > 1 else "BFS"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+
+    run = generate_trace(abbrev, scale)
+    profile = characterize(abbrev, run.trace)
+
+    print(f"{abbrev} instruction mix "
+          f"({profile.dynamic_instructions} dynamic instructions):")
+    for pool, fraction in sorted(profile.pool_mix.items(),
+                                 key=lambda kv: -kv[1]):
+        print(f"  {pool:>10}: {fraction:6.1%}")
+    print(f"  branches: {profile.branch_fraction:.1%} "
+          f"({profile.taken_fraction:.0%} taken), "
+          f"memory: {profile.memory_fraction:.1%}")
+
+    tuner = FabricTuner(pe_budget=12)  # same budget as the Table 4 stripe
+    mix = tuner.propose([profile])
+    default_pools = FabricConfig().stripe_pools
+    print("\nper-stripe PE mix (default -> tuned):")
+    for pool in default_pools:
+        print(f"  {pool:>10}: {default_pools[pool]} -> {mix.pools[pool]}")
+
+    default_eval = evaluate_mix(run, FabricConfig())
+    tuned_eval = evaluate_mix(run, tuner.fabric_config(mix))
+    print(f"\n{'':>12} {'speedup':>8} {'area mm^2':>10} "
+          f"{'speedup/mm^2':>13} {'coverage':>9}")
+    for name, ev in (("default", default_eval), ("tuned", tuned_eval)):
+        print(f"{name:>12} {ev.speedup:>8.2f} {ev.fabric_area_mm2:>10.2f} "
+              f"{ev.speedup_per_mm2:>13.2f} {ev.fabric_coverage:>9.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""DynaSpAM (ISCA 2015) reproduction library.
+
+Subpackages
+-----------
+``repro.isa``
+    RISC-like instruction set, program builder, functional executor.
+``repro.workloads``
+    Eleven Rodinia-like kernel analogs plus a suite registry.
+``repro.ooo``
+    Trace-driven cycle-level out-of-order pipeline (the GEM5 stand-in).
+``repro.fabric``
+    Stripe-organized reconfigurable spatial fabric and its timing model.
+``repro.core``
+    The paper's contribution: trace detection (T-Cache), resource-aware
+    dynamic mapping (Algorithms 1-3), configuration cache, and trace
+    offloading as fat atomic instructions.
+``repro.energy``
+    McPAT/CACTI stand-ins: event-based energy accounting and area model.
+``repro.harness``
+    Experiment drivers regenerating every evaluation table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,128 @@
+"""Top-level command line interface.
+
+Usage::
+
+    python -m repro list                          # available benchmarks
+    python -m repro run KM [--scale 0.5] [--mode accelerate]
+                           [--no-speculation] [--fabrics 2]
+                           [--trace-length 32] [--json]
+    python -m repro harness fig8 [--scale 1.0]    # same as repro.harness
+
+``run`` simulates one benchmark on the baseline core and the DynaSpAM
+machine and reports speedup, coverage, trace statistics, and the energy
+ledger — as a human-readable summary or a JSON document for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import DynaSpAM, DynaSpAMConfig
+from repro.energy import EnergyModel
+from repro.ooo.pipeline import OOOPipeline
+from repro.workloads import ALL_ABBREVS, BENCHMARKS, generate_trace
+
+
+def cmd_list(_args) -> int:
+    print(f"{'abbrev':>7}  {'name':<22} {'domain':<20} kernel")
+    for abbrev in ALL_ABBREVS:
+        bench = BENCHMARKS[abbrev]
+        print(f"{abbrev:>7}  {bench.name:<22} {bench.domain:<20} "
+              f"{bench.kernel}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.benchmark not in BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    run = generate_trace(args.benchmark, args.scale)
+    baseline = OOOPipeline().run_trace(run.trace)
+    machine = DynaSpAM(
+        ds_config=DynaSpAMConfig(
+            mode=args.mode,
+            speculation=not args.no_speculation,
+            trace_length=args.trace_length,
+            num_fabrics=args.fabrics,
+        )
+    )
+    result = machine.run(run.trace, run.program)
+    model = EnergyModel()
+    base_energy = model.breakdown(baseline.stats)
+    dyna_energy = model.breakdown(result.stats)
+
+    report = {
+        "benchmark": args.benchmark,
+        "scale": args.scale,
+        "mode": args.mode,
+        "speculation": not args.no_speculation,
+        "dynamic_instructions": run.dynamic_count,
+        "baseline_cycles": baseline.cycles,
+        "dynaspam_cycles": result.cycles,
+        "speedup": baseline.cycles / result.cycles if result.cycles else 0.0,
+        "coverage": result.coverage,
+        "mapped_traces": result.mapped_traces,
+        "offloaded_traces": result.offloaded_traces,
+        "fabric_invocations": result.stats.fabric_invocations,
+        "mean_configuration_lifetime": result.mean_lifetime,
+        "squashes": result.squashes,
+        "reconfigurations": result.reconfigurations,
+        "energy_reduction": dyna_energy.reduction_vs(base_energy),
+        "energy_components_normalized": dyna_energy.normalized_to(base_energy),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+
+    cov = result.coverage
+    print(f"{args.benchmark}: {run.dynamic_count} dynamic instructions "
+          f"at scale {args.scale}")
+    print(f"  baseline  {baseline.cycles:>9} cycles (IPC {baseline.ipc:.2f})")
+    print(f"  DynaSpAM  {result.cycles:>9} cycles "
+          f"(speedup {report['speedup']:.2f}x)")
+    print(f"  coverage  host {cov['host']:.1%} | mapping "
+          f"{cov['mapping']:.1%} | fabric {cov['fabric']:.1%}")
+    print(f"  traces    {result.mapped_traces} mapped, "
+          f"{result.offloaded_traces} offloaded, "
+          f"{result.stats.fabric_invocations} invocations, "
+          f"lifetime {result.mean_lifetime:.0f}")
+    print(f"  energy    {report['energy_reduction']:.1%} reduction")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmarks")
+
+    run_parser = sub.add_parser("run", help="simulate one benchmark")
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument("--mode", default="accelerate",
+                            choices=["baseline", "mapping_only", "accelerate"])
+    run_parser.add_argument("--no-speculation", action="store_true")
+    run_parser.add_argument("--fabrics", type=int, default=1)
+    run_parser.add_argument("--trace-length", type=int, default=32)
+    run_parser.add_argument("--json", action="store_true")
+
+    harness_parser = sub.add_parser("harness",
+                                    help="regenerate evaluation artifacts")
+    harness_parser.add_argument("experiment")
+    harness_parser.add_argument("--scale", type=float, default=1.0)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "run":
+        return cmd_run(args)
+    from repro.harness.__main__ import main as harness_main
+
+    return harness_main([args.experiment, "--scale", str(args.scale)])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

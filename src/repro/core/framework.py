@@ -1,0 +1,349 @@
+"""The DynaSpAM machine: detection → mapping → offloading around the host.
+
+``DynaSpAM.run`` consumes a benchmark's dynamic trace exactly like the
+baseline ``OOOPipeline`` does, but at every trace anchor (the instruction
+after a committed branch) the fetch stage:
+
+1. walks the static program under speculative branch predictions to form
+   the predicted trace key (anchor PC, outcomes, length);
+2. probes the configuration cache — a *ready* entry triggers offloading as
+   a fat atomic instruction (or a squash if the prediction was wrong);
+   a mapped-but-not-ready entry bumps its saturating counter;
+3. otherwise consults the T-Cache — a hot trace triggers the mapping
+   phase: drain the back end, run the resource-aware mapper while the
+   trace instructions execute on the host, and store the configuration.
+
+Modes: ``baseline`` (host only), ``mapping_only`` (Figure 8's mapping
+series), ``accelerate`` (full DynaSpAM, with or without memory
+speculation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config_cache import ConfigCache
+from repro.core.mapper import ResourceAwareMapper
+from repro.core.multifabric import FabricPool
+from repro.core.naive_mapper import NaiveMapper
+from repro.core.offload import OffloadEngine, TRACE_SQUASH_DETECT
+from repro.core.tcache import TCache, TraceWindowBuilder
+from repro.fabric.config import FabricConfig
+from repro.isa.instructions import DynamicInstruction, WORD_SIZE
+from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.program import Program
+from repro.ooo.config import CoreConfig
+from repro.ooo.pipeline import OOOPipeline, PipelineResult
+from repro.ooo.stats import PipelineStats
+
+
+@dataclass
+class DynaSpAMConfig:
+    """Knobs of the DynaSpAM subsystem."""
+
+    mode: str = "accelerate"        # "baseline" | "mapping_only" | "accelerate"
+    speculation: bool = True        # memory speculation on the fabric
+    trace_length: int = 32          # Figure 7 sweeps 16..40
+    max_branches: int = 3
+    #: Future-work feature: end cap-split traces at their last branch so
+    #: the next trace anchors immediately (no dead zone).
+    smart_trace_selection: bool = False
+    num_fabrics: int = 1
+    mapper: str = "resource_aware"  # | "naive" (ablation)
+    tcache_entries: int = 256
+    hot_threshold: int = 3
+    tcache_clear_interval: int = 2_500
+    ready_threshold: int = 4
+    config_cache_entries: int = 16
+    config_clear_interval: int = 600
+    reconfig_hysteresis: int = 150  # cycles a fresh configuration is protected
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("baseline", "mapping_only", "accelerate"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.mapper not in ("resource_aware", "naive"):
+            raise ValueError(f"unknown mapper {self.mapper!r}")
+
+
+@dataclass
+class DynaSpAMResult:
+    """Run outcome: host pipeline result plus DynaSpAM accounting."""
+
+    pipeline: PipelineResult
+    host_instructions: int
+    mapping_instructions: int
+    offloaded_instructions: int
+    mapped_traces: int
+    offloaded_traces: int
+    lifetimes: list[int] = field(default_factory=list)
+    squashes: int = 0
+    reconfigurations: int = 0
+
+    @property
+    def stats(self) -> PipelineStats:
+        return self.pipeline.stats
+
+    @property
+    def cycles(self) -> int:
+        return self.pipeline.cycles
+
+    @property
+    def total_instructions(self) -> int:
+        return (
+            self.host_instructions
+            + self.mapping_instructions
+            + self.offloaded_instructions
+        )
+
+    @property
+    def coverage(self) -> dict[str, float]:
+        """Fraction of dynamic instructions per execution venue (Fig 7)."""
+        total = self.total_instructions or 1
+        return {
+            "host": self.host_instructions / total,
+            "mapping": self.mapping_instructions / total,
+            "fabric": self.offloaded_instructions / total,
+        }
+
+    @property
+    def mean_lifetime(self) -> float:
+        """Average configuration lifetime in invocations (Table 5)."""
+        if not self.lifetimes:
+            return 0.0
+        return sum(self.lifetimes) / len(self.lifetimes)
+
+
+class DynaSpAM:
+    """One DynaSpAM-augmented core."""
+
+    def __init__(
+        self,
+        core_config: CoreConfig | None = None,
+        fabric_config: FabricConfig | None = None,
+        ds_config: DynaSpAMConfig | None = None,
+    ) -> None:
+        self.config = ds_config or DynaSpAMConfig()
+        cfg = self.config
+        self.pipeline = OOOPipeline(core_config)
+        self.fabric_config = fabric_config or FabricConfig()
+        self.builder = TraceWindowBuilder(cfg.trace_length, cfg.max_branches)
+        self.tcache = TCache(
+            entries=cfg.tcache_entries,
+            hot_threshold=cfg.hot_threshold,
+            clear_interval=cfg.tcache_clear_interval,
+        )
+        self.ccache = ConfigCache(
+            entries=cfg.config_cache_entries,
+            ready_threshold=cfg.ready_threshold,
+            clear_interval=cfg.config_clear_interval,
+        )
+        if cfg.mapper == "naive":
+            self.mapper = NaiveMapper(self.fabric_config)
+        else:
+            self.mapper = ResourceAwareMapper(
+                self.fabric_config, self.pipeline.config
+            )
+        self.pool = FabricPool(cfg.num_fabrics, self.fabric_config)
+        self.offloader = OffloadEngine(
+            pipeline=self.pipeline, speculation=cfg.speculation
+        )
+
+        self._host_instructions = 0
+        self._mapping_instructions = 0
+        self._offloaded_keys: set = set()
+        self._squashes = 0
+        self.program: Program | None = None
+
+    # ------------------------------------------------------------------
+    def run(self, trace: list[DynamicInstruction], program: Program) -> DynaSpAMResult:
+        """Simulate the full dynamic trace."""
+        self.program = program
+        cfg = self.config
+        if cfg.smart_trace_selection:
+            self.builder.program = program  # enables static lookahead
+        active = cfg.mode != "baseline"
+        i = 0
+        n = len(trace)
+        while i < n:
+            if active and self.builder.at_anchor:
+                advanced = self._at_anchor(trace, i)
+                if advanced is not None:
+                    i = advanced
+                    continue
+            self._host_step(trace[i])
+            i += 1
+        return self._finish()
+
+    # ------------------------------------------------------------------
+    def _host_step(self, dyn: DynamicInstruction, mapping_phase: bool = False) -> None:
+        self.pipeline.process(dyn)
+        if mapping_phase:
+            self._mapping_instructions += 1
+            self.pipeline.stats.mapping_instructions += 1
+        else:
+            self._host_instructions += 1
+        window = self.builder.feed(dyn)
+        if window is not None:
+            self.tcache.observe(window)
+        self.ccache.tick(1)
+
+    # ------------------------------------------------------------------
+    def _at_anchor(self, trace, i) -> int | None:
+        """Handle a trace anchor; returns the next index if it consumed
+        instructions (offload or mapping phase), else None."""
+        predicted = self._predict_key(trace[i].pc)
+        if predicted is None:
+            return None
+        cfg = self.config
+        stats = self.pipeline.stats
+
+        entry = self.ccache.lookup(predicted)
+        stats.config_cache_reads += 1
+        if entry is not None and entry.configuration is not None:
+            if entry.ready and cfg.mode == "accelerate":
+                return self._attempt_offload(trace, i, entry, predicted)
+            self.ccache.predicted_again(entry)
+            return None
+        if entry is not None:
+            return None  # known unmappable
+
+        if self.tcache.is_hot(predicted) and cfg.mode in (
+            "mapping_only",
+            "accelerate",
+        ):
+            return self._mapping_phase(trace, i, predicted)
+        return None
+
+    # ------------------------------------------------------------------
+    def _attempt_offload(self, trace, i, entry, predicted) -> int | None:
+        segment = self._actual_segment(trace, i)
+        actual_key = self._segment_key(segment)
+        stats = self.pipeline.stats
+        if actual_key != predicted:
+            # Embedded branch outcome mismatch: the invocation squashes in
+            # ROB' and the correct path re-executes on the host.
+            stats.fabric_squashes += 1
+            self._squashes += 1
+            # The divergent branch re-executes (and pays its mispredict
+            # penalty) on the host path; the fat entry's squash itself only
+            # costs the ROB' detection bubble.
+            _, dispatch = self.pipeline.macro_dispatch()
+            self.pipeline.stall_fetch_until(dispatch + TRACE_SQUASH_DETECT)
+            return None
+        acquired = self.pool.acquire(
+            entry.configuration,
+            max(self.pipeline.next_fetch_cycle, self.pipeline.fetch_barrier),
+            reconfig_hysteresis=self.config.reconfig_hysteresis,
+        )
+        if acquired is None:
+            return None  # every fabric is protected: run on the host
+        fabric, ready = acquired
+        outcome = self.offloader.offload(
+            fabric, entry.configuration, segment, ready
+        )
+        if not outcome.success:
+            self._squashes += 1
+            return None  # replay the segment on the host
+        entry.offload_count += 1
+        self._offloaded_keys.add(entry.key)
+        self.ccache.tick(len(segment))
+        self.builder.resume_after(segment)
+        return i + len(segment)
+
+    # ------------------------------------------------------------------
+    def _mapping_phase(self, trace, i, predicted) -> int | None:
+        segment = self._actual_segment(trace, i)
+        actual_key = self._segment_key(segment)
+        if actual_key != predicted:
+            return None  # a mispredicted branch aborts the mapping process
+        stats = self.pipeline.stats
+        drained = self.pipeline.drain()
+        configuration = self.mapper.map_trace(segment, actual_key)
+        self.ccache.insert(actual_key, configuration)
+        stats.config_cache_writes += 1
+        if configuration is not None:
+            # Mapping rides the issue unit while the trace instructions
+            # execute on the host; fetch resumes once mapping finishes.
+            self.pipeline.stall_fetch_until(
+                drained + configuration.mapping_cycles
+            )
+        for dyn in segment:
+            self._host_step(dyn, mapping_phase=True)
+        return i + len(segment)
+
+    # ------------------------------------------------------------------
+    def _predict_key(self, pc: int) -> tuple | None:
+        """Front-end walk of the static program under predicted branches."""
+        program = self.program
+        bpred = self.pipeline.bpred
+        cfg = self.config
+        history = bpred.history
+        outcomes: list[bool] = []
+        length = 0
+        cursor = pc
+        while length < cfg.trace_length:
+            inst = program.by_pc.get(cursor)
+            if inst is None or inst.opcode is Opcode.HALT:
+                return None
+            length += 1
+            if inst.is_branch:
+                taken = bpred.peek_with_history(cursor, history)
+                history = bpred.shift_history(history, taken)
+                outcomes.append(taken)
+                if len(outcomes) >= cfg.max_branches:
+                    break
+                cursor = (
+                    program.target_pc(inst) if taken else cursor + WORD_SIZE
+                )
+                if (cfg.smart_trace_selection
+                        and self.builder.distance_to_next_branch(cursor)
+                        > cfg.trace_length - length):
+                    break  # next block cannot fit: end the trace here
+            elif inst.opclass is OpClass.JUMP:
+                cursor = program.target_pc(inst)
+            else:
+                cursor += WORD_SIZE
+        return (pc, tuple(outcomes), length)
+
+    def _actual_segment(self, trace, i) -> list[DynamicInstruction]:
+        """The oracle-path trace occurrence starting at index ``i``."""
+        cfg = self.config
+        segment: list[DynamicInstruction] = []
+        branches = 0
+        for j in range(i, min(i + cfg.trace_length, len(trace))):
+            dyn = trace[j]
+            if dyn.opcode is Opcode.HALT:
+                break
+            segment.append(dyn)
+            if dyn.is_branch:
+                branches += 1
+                if branches >= cfg.max_branches:
+                    break
+                if (cfg.smart_trace_selection
+                        and self.builder.distance_to_next_branch(dyn.next_pc)
+                        > cfg.trace_length - len(segment)):
+                    break
+        return segment
+
+    @staticmethod
+    def _segment_key(segment) -> tuple | None:
+        if not segment:
+            return None
+        outcomes = tuple(bool(d.taken) for d in segment if d.is_branch)
+        return (segment[0].pc, outcomes, len(segment))
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> DynaSpAMResult:
+        self.pipeline.stats.fabric_configurations = self.pool.reconfigurations
+        pipeline_result = self.pipeline.finish()
+        return DynaSpAMResult(
+            pipeline=pipeline_result,
+            host_instructions=self._host_instructions,
+            mapping_instructions=self._mapping_instructions,
+            offloaded_instructions=self.pipeline.stats.offloaded_instructions,
+            mapped_traces=self.ccache.mapped_trace_count,
+            offloaded_traces=len(self._offloaded_keys),
+            lifetimes=self.pool.lifetimes(),
+            squashes=self._squashes,
+            reconfigurations=self.pool.reconfigurations,
+        )

@@ -1,0 +1,81 @@
+"""Multi-fabric management with LRU reconfiguration (paper Section 5.2).
+
+Table 5 models 1, 2, and 4 on-chip fabrics (and 8 for the BFS case study):
+more fabrics keep more configurations resident, lengthening average
+configuration lifetime for trace-diverse programs like BFS.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.config import FabricConfig
+from repro.fabric.configuration import Configuration
+from repro.fabric.fabric import SpatialFabric
+
+
+class FabricPool:
+    """A set of fabrics managed with an LRU reconfiguration policy."""
+
+    def __init__(
+        self, num_fabrics: int = 1, fabric_config: FabricConfig | None = None
+    ) -> None:
+        if num_fabrics < 1:
+            raise ValueError("need at least one fabric")
+        self.fabric_config = fabric_config or FabricConfig()
+        self.fabrics = [
+            SpatialFabric(self.fabric_config, fabric_id=i)
+            for i in range(num_fabrics)
+        ]
+        self._lru: list[int] = list(range(num_fabrics))
+        self.reconfigurations = 0
+
+    def _touch(self, fabric_id: int) -> None:
+        self._lru.remove(fabric_id)
+        self._lru.append(fabric_id)
+
+    def acquire(
+        self,
+        configuration: Configuration,
+        cycle: int,
+        reconfig_hysteresis: int = 0,
+    ) -> tuple[SpatialFabric, int] | None:
+        """Return (fabric, ready cycle) for an invocation of ``configuration``.
+
+        Reuses a fabric already holding the configuration; otherwise
+        reconfigures the least-recently-used fabric.  With a nonzero
+        ``reconfig_hysteresis``, a fabric reconfigured within the last that
+        many *cycles* is not evicted — the caller runs the trace on the
+        host instead (the paper's saturating-counter filtering exists "to
+        prevent frequent reconfiguration").  Returns None when every fabric
+        is protected.
+        """
+        key = configuration.trace_key
+        for fabric in self.fabrics:
+            if fabric.is_configured_for(key):
+                self._touch(fabric.fabric_id)
+                return fabric, cycle
+        victim = None
+        for fabric_id in self._lru:
+            candidate = self.fabrics[fabric_id]
+            if (
+                candidate.current_key is None
+                or cycle - candidate.configured_at >= reconfig_hysteresis
+            ):
+                victim = candidate
+                break
+        if victim is None:
+            return None
+        ready = victim.configure(configuration, cycle)
+        self.reconfigurations += 1
+        self._touch(victim.fabric_id)
+        return victim, ready
+
+    def lifetimes(self) -> list[int]:
+        """Invocations-per-configuration samples across all fabrics."""
+        samples: list[int] = []
+        for fabric in self.fabrics:
+            samples.extend(fabric.flush_lifetime())
+        return samples
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(f.total_invocations for f in self.fabrics)

@@ -1,0 +1,96 @@
+"""PriorityGen — Algorithm 2 and the Table 2 score levels.
+
+For a (functional unit, ready instruction) pair, the generator consults the
+status tables and produces a priority score:
+
+=====  ======================================================================
+score  meaning (paper Table 2)
+=====  ======================================================================
+ 3     two operands are live-ins, and the PE has two input ports
+ 2     both operands come straight from the previous stripe's pass registers
+ 1     one operand reused, the other needs a newly routed datapath
+ 0     no reuse, but every operand can be routed (or delivered by the bus)
+-1     infeasible: an operand can be neither reused nor routed, or the PE
+       lacks input ports for the required live-ins
+=====  ======================================================================
+
+Live-in operands are delivered over the global bus into the PE's input
+ports; they are never in the ReuseSet (footnote 2), so they count toward
+the "routable" tally provided the PE has port capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tables import MappingTables, Token
+from repro.fabric.pe import PE
+
+PRIORITY_TWO_LIVEIN = 3
+PRIORITY_FULL_REUSE = 2
+PRIORITY_PART_REUSE = 1
+PRIORITY_ROUTED = 0
+PRIORITY_INFEASIBLE = -1
+
+
+@dataclass
+class OperandPlan:
+    """How one operand will be delivered if this placement is chosen."""
+
+    token: Token
+    action: str  # "reuse" | "route" | "livein"
+
+
+@dataclass
+class PlacementPlan:
+    """Score plus the operand delivery plan for one (PE, inst) pair."""
+
+    score: int
+    operands: list[OperandPlan]
+
+
+def priority_gen(
+    pe: PE,
+    operand_tokens: list[Token],
+    tables: MappingTables,
+    frontier: int,
+) -> PlacementPlan:
+    """Algorithm 2: score placing an instruction with ``operand_tokens``
+    onto ``pe`` in the frontier stripe."""
+    boundary = frontier  # PEs in stripe s read from boundary s
+    can_reuse = 0
+    can_route = 0
+    need_inputs = 0
+    plans: list[OperandPlan] = []
+
+    for token in operand_tokens:
+        if token[0] == "livein":
+            need_inputs += 1
+            plans.append(OperandPlan(token, "livein"))
+        elif tables.in_reuse_set(token, boundary):
+            can_reuse += 1
+            plans.append(OperandPlan(token, "reuse"))
+        elif tables.can_route(token, boundary):
+            can_route += 1
+            plans.append(OperandPlan(token, "route"))
+        else:
+            return PlacementPlan(PRIORITY_INFEASIBLE, [])
+
+    num_ops = len(operand_tokens)
+
+    if need_inputs == 2:
+        if pe.input_ports >= 2:
+            return PlacementPlan(PRIORITY_TWO_LIVEIN, plans)
+        return PlacementPlan(PRIORITY_INFEASIBLE, [])
+    if need_inputs > pe.input_ports:
+        return PlacementPlan(PRIORITY_INFEASIBLE, [])
+
+    # Live-ins arrive over the bus: they count as routable deliveries.
+    routable = can_route + need_inputs
+    if num_ops == can_reuse == 2:
+        return PlacementPlan(PRIORITY_FULL_REUSE, plans)
+    if num_ops == routable:
+        return PlacementPlan(PRIORITY_ROUTED, plans)
+    if num_ops == can_reuse + routable:
+        return PlacementPlan(PRIORITY_PART_REUSE, plans)
+    return PlacementPlan(PRIORITY_INFEASIBLE, [])

@@ -1,0 +1,91 @@
+"""Side reorder buffer (ROB′) for fat atomic trace invocations.
+
+An offloaded trace occupies a single main-ROB entry whose index field
+points at a ROB′ entry holding the invocation's renamed live-out values,
+branch results, and buffered stores (paper Section 3.2).  The entry commits
+only when every live-out and branch result has drained from the output
+FIFOs; a branch mis-speculation or memory-order violation squashes it and
+broadcasts the squash to all pipeline stages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SideEntryState(enum.Enum):
+    PENDING = "pending"
+    COMPLETE = "complete"
+    COMMITTED = "committed"
+    SQUASHED = "squashed"
+
+
+@dataclass
+class SideROBEntry:
+    """One trace invocation's architectural side effects."""
+
+    seq: int                         # main-ROB sequence number
+    trace_key: tuple
+    live_outs: dict[str, int] = field(default_factory=dict)   # reg -> ready cycle
+    branch_results: list[bool] = field(default_factory=list)
+    buffered_stores: list[tuple[int, float | int | None]] = field(
+        default_factory=list
+    )                                # (address, value-if-tracked)
+    state: SideEntryState = SideEntryState.PENDING
+    complete_cycle: int = 0
+    commit_cycle: int = 0
+
+    @property
+    def can_commit(self) -> bool:
+        return self.state is SideEntryState.COMPLETE
+
+
+class SideROB:
+    """The ROB′ structure plus commit/squash bookkeeping."""
+
+    def __init__(self, entries: int = 16) -> None:
+        self.capacity = entries
+        self._entries: list[SideROBEntry] = []
+        self.committed = 0
+        self.squashed = 0
+
+    def allocate(self, seq: int, trace_key: tuple) -> SideROBEntry:
+        if len(self._entries) >= self.capacity:
+            raise RuntimeError("ROB' full")
+        entry = SideROBEntry(seq=seq, trace_key=trace_key)
+        self._entries.append(entry)
+        return entry
+
+    def mark_complete(
+        self,
+        entry: SideROBEntry,
+        cycle: int,
+        live_outs: dict[str, int],
+        branch_results,
+        stores,
+    ) -> None:
+        entry.live_outs = dict(live_outs)
+        entry.branch_results = list(branch_results)
+        entry.buffered_stores = list(stores)
+        entry.complete_cycle = cycle
+        entry.state = SideEntryState.COMPLETE
+
+    def commit(self, entry: SideROBEntry, cycle: int) -> None:
+        if not entry.can_commit:
+            raise RuntimeError("cannot commit an incomplete ROB' entry")
+        entry.state = SideEntryState.COMMITTED
+        entry.commit_cycle = cycle
+        self.committed += 1
+        self._entries.remove(entry)
+
+    def squash(self, entry: SideROBEntry, cycle: int) -> None:
+        entry.state = SideEntryState.SQUASHED
+        entry.commit_cycle = cycle
+        self.squashed += 1
+        if entry in self._entries:
+            self._entries.remove(entry)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)

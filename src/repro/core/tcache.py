@@ -1,0 +1,213 @@
+"""T-Cache: hot-trace detection from the committed instruction stream.
+
+A trace is anchored at the instruction following a committed conditional
+branch (or at program start) and extends through at most three conditional
+branches, capped at a preset length (paper Section 3.1: "DynaSpAM only
+tracks three branch instructions in the sequence"; Figure 7 sweeps the cap
+from 16 to 40).  Its identity is ``(anchor PC, branch-outcome tuple)``.
+On every trace close the T-Cache bumps a saturating counter for that
+identity; past the threshold the trace is flagged hot.  Counters are
+periodically cleared so stale traces do not hold the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import DynamicInstruction
+from repro.isa.opcodes import Opcode
+
+
+@dataclass
+class TraceWindow:
+    """A closed candidate trace: a run of committed instructions."""
+
+    anchor_pc: int
+    start_seq: int
+    instructions: list[DynamicInstruction] = field(default_factory=list)
+
+    @property
+    def outcomes(self) -> tuple[bool, ...]:
+        return tuple(
+            bool(d.taken) for d in self.instructions if d.is_branch
+        )
+
+    @property
+    def key(self) -> tuple:
+        return (self.anchor_pc, self.outcomes, len(self.instructions))
+
+    @property
+    def length(self) -> int:
+        return len(self.instructions)
+
+
+class TraceWindowBuilder:
+    """Streaming splitter of the committed stream into candidate traces.
+
+    Trace anchors sit immediately after a committed conditional branch (or
+    at program start).  A window closes at its third conditional branch or
+    at the length cap; if the cap lands mid-block, the instructions until
+    the next branch commit belong to no trace (they always execute on the
+    host — the effect behind Figure 7's coverage dips for NW and SRAD),
+    and the next window anchors after that branch.
+    """
+
+    def __init__(
+        self,
+        max_length: int = 32,
+        max_branches: int = 3,
+        program=None,
+    ) -> None:
+        if max_length < 1:
+            raise ValueError("trace length cap must be positive")
+        self.max_length = max_length
+        self.max_branches = max_branches
+        #: The paper's future-work "more intelligent instruction
+        #: selection": with a program for static lookahead, a window closes
+        #: at a branch whenever the following block cannot fit under the
+        #: cap — so the next trace anchors immediately (no dead zone).
+        self.program = program
+        self._distance_cache: dict[int, int] = {}
+        self._window: TraceWindow | None = None
+        self._awaiting_branch = False
+
+    def distance_to_next_branch(self, pc: int) -> int:
+        """Static instruction count from ``pc`` through the next
+        conditional branch (inclusive), following unconditional jumps.
+        Returns ``max_length + 1`` if none is reachable within the cap."""
+        from repro.isa.instructions import WORD_SIZE
+
+        cached = self._distance_cache.get(pc)
+        if cached is not None:
+            return cached
+        cursor = pc
+        distance = 0
+        limit = self.max_length + 1
+        while distance < limit:
+            inst = self.program.by_pc.get(cursor)
+            if inst is None or inst.opcode is Opcode.HALT:
+                distance = limit
+                break
+            distance += 1
+            if inst.is_branch:
+                break
+            if inst.opclass.is_control:  # unconditional jump
+                cursor = self.program.target_pc(inst)
+            else:
+                cursor += WORD_SIZE
+        self._distance_cache[pc] = distance
+        return distance
+
+    def _should_close_at_branch(self, window: TraceWindow,
+                                next_pc: int) -> bool:
+        """Smart selection: close if the next block cannot fit."""
+        if self.program is None:
+            return False
+        remaining = self.max_length - window.length
+        return self.distance_to_next_branch(next_pc) > remaining
+
+    @property
+    def at_anchor(self) -> bool:
+        """True when the next fed instruction would start a new window."""
+        return self._window is None and not self._awaiting_branch
+
+    def feed(self, dyn: DynamicInstruction) -> TraceWindow | None:
+        """Add one committed instruction; return a window if one closed."""
+        if dyn.opcode is Opcode.HALT:
+            # HALT never belongs to a hot trace; discard the open window.
+            self._window = None
+            self._awaiting_branch = False
+            return None
+        if self._awaiting_branch:
+            if dyn.is_branch:
+                self._awaiting_branch = False
+            return None
+        if self._window is None:
+            self._window = TraceWindow(anchor_pc=dyn.pc, start_seq=dyn.seq)
+        window = self._window
+        window.instructions.append(dyn)
+        branches = sum(1 for d in window.instructions if d.is_branch)
+        if branches >= self.max_branches:
+            self._window = None
+            return window
+        if dyn.is_branch and self._should_close_at_branch(window, dyn.next_pc):
+            self._window = None
+            return window
+        if window.length >= self.max_length:
+            self._window = None
+            self._awaiting_branch = not dyn.is_branch
+            return window
+        return None
+
+    def resume_after(self, segment: list[DynamicInstruction]) -> None:
+        """Realign anchor state after a segment was consumed externally
+        (an offloaded invocation bypasses the commit stream)."""
+        self._window = None
+        self._awaiting_branch = bool(segment) and not segment[-1].is_branch
+
+    def reset(self) -> None:
+        self._window = None
+        self._awaiting_branch = False
+
+
+class TCache:
+    """Saturating-counter table of trace identities."""
+
+    def __init__(
+        self,
+        entries: int = 256,
+        counter_bits: int = 3,
+        hot_threshold: int = 3,
+        clear_interval: int = 100_000,
+    ) -> None:
+        self.entries = entries
+        self.counter_max = (1 << counter_bits) - 1
+        self.hot_threshold = hot_threshold
+        self.clear_interval = clear_interval
+        self._counters: dict[tuple, int] = {}
+        self._hot: set[tuple] = set()
+        self._since_clear = 0
+        self.lookups = 0
+        self.insertions = 0
+        self.clears = 0
+
+    def observe(self, window: TraceWindow) -> bool:
+        """Record a closed trace; returns True if it is (now) hot."""
+        key = window.key
+        self.lookups += 1
+        count = self._counters.get(key)
+        if count is None:
+            if len(self._counters) >= self.entries:
+                # Direct-mapped-style replacement: evict an arbitrary cold
+                # entry (insertion-order first, as a FIFO approximation).
+                victim = next(iter(self._counters))
+                del self._counters[victim]
+                self._hot.discard(victim)
+            count = 0
+            self.insertions += 1
+        count = min(count + 1, self.counter_max)
+        self._counters[key] = count
+        if count >= self.hot_threshold:
+            self._hot.add(key)
+        self._tick()
+        return key in self._hot
+
+    def is_hot(self, key: tuple) -> bool:
+        return key in self._hot
+
+    def _tick(self) -> None:
+        self._since_clear += 1
+        if self._since_clear >= self.clear_interval:
+            self._since_clear = 0
+            self.clears += 1
+            # Periodic clearing resets counters *and* demotes hot flags
+            # ("periodically cleared to prevent traces that execute
+            # infrequently from occupying the spatial fabric"): a genuinely
+            # hot trace re-warms within a few windows, an infrequent one
+            # stops triggering mapping phases.
+            self._counters = {k: 0 for k in self._counters}
+            self._hot.clear()
+
+    @property
+    def hot_count(self) -> int:
+        return len(self._hot)

@@ -1,0 +1,131 @@
+"""Workload-driven fabric tuning (the paper's stated future work).
+
+"In future work, research will be done to adjust the number of functional
+units according to instruction type distributions of the benchmarks"
+(Section 5.2, Area).  ``FabricTuner`` implements that study: given one or
+more workload profiles, it proposes a per-stripe functional-unit mix that
+tracks the observed instruction distribution under a PE budget, and
+``evaluate_mix`` measures what a proposed geometry does to performance and
+area.
+
+Constraint inherited from Algorithm 1: the host issue unit maps its
+functional units one-to-one onto the frontier stripe's PEs, so every pool
+keeps at least one PE per stripe (otherwise traces containing that class
+could never map).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.framework import DynaSpAM, DynaSpAMConfig
+from repro.energy.area import FabricAreaModel
+from repro.fabric.config import FabricConfig
+from repro.ooo.fus import POOL_NAMES
+from repro.ooo.pipeline import OOOPipeline
+from repro.workloads.characterize import pool_demand, WorkloadProfile
+
+
+@dataclass
+class TunedMix:
+    """A proposed per-stripe pool sizing."""
+
+    pools: dict[str, int]
+    pe_budget: int
+
+    @property
+    def total_pes(self) -> int:
+        return sum(self.pools.values())
+
+
+@dataclass
+class MixEvaluation:
+    """Outcome of simulating a benchmark on a tuned fabric."""
+
+    speedup: float
+    fabric_area_mm2: float
+    mapped_traces: int
+    offloaded_traces: int
+    fabric_coverage: float
+
+    @property
+    def speedup_per_mm2(self) -> float:
+        return self.speedup / self.fabric_area_mm2 if self.fabric_area_mm2 else 0.0
+
+
+class FabricTuner:
+    """Largest-remainder apportionment of PEs to pools by demand."""
+
+    def __init__(self, pe_budget: int = 12) -> None:
+        if pe_budget < len(POOL_NAMES):
+            raise ValueError(
+                f"budget must cover one PE per pool ({len(POOL_NAMES)})"
+            )
+        self.pe_budget = pe_budget
+
+    def propose(self, profiles: list[WorkloadProfile]) -> TunedMix:
+        """Size stripe pools proportionally to aggregate demand."""
+        if not profiles:
+            raise ValueError("need at least one workload profile")
+        demand = {pool: 0.0 for pool in POOL_NAMES}
+        for profile in profiles:
+            for pool, value in pool_demand(profile).items():
+                demand[pool] += value
+        total_demand = sum(demand.values()) or 1.0
+
+        # One guaranteed PE per pool; apportion the rest by demand.
+        pools = {pool: 1 for pool in POOL_NAMES}
+        spare = self.pe_budget - len(POOL_NAMES)
+        shares = {
+            pool: spare * demand[pool] / total_demand for pool in POOL_NAMES
+        }
+        for pool in POOL_NAMES:
+            take = int(shares[pool])
+            pools[pool] += take
+            shares[pool] -= take
+        leftovers = sorted(shares, key=shares.get, reverse=True)
+        remaining = self.pe_budget - sum(pools.values())
+        for pool in leftovers[:remaining]:
+            pools[pool] += 1
+        return TunedMix(pools=pools, pe_budget=self.pe_budget)
+
+    def fabric_config(self, mix: TunedMix,
+                      base: FabricConfig | None = None) -> FabricConfig:
+        """Instantiate a fabric geometry from a tuned mix."""
+        base = base or FabricConfig()
+        return FabricConfig(
+            num_stripes=base.num_stripes,
+            stripe_pools=dict(mix.pools),
+            pass_regs_per_fu=base.pass_regs_per_fu,
+            fifo_depth=base.fifo_depth,
+            livein_fifos=base.livein_fifos,
+            liveout_fifos=base.liveout_fifos,
+        )
+
+
+def evaluate_mix(
+    trace_result,
+    fabric_config: FabricConfig,
+    ds_config: DynaSpAMConfig | None = None,
+) -> MixEvaluation:
+    """Simulate one benchmark on a candidate fabric geometry.
+
+    Note: the one-to-one FU<->PE mapping means a tuned stripe mix also
+    implies a matching host issue-port mix; we keep the host fixed (its
+    Table 4 configuration) and let the mapper see the tuned stripes, which
+    isolates the fabric-side effect.
+    """
+    baseline = OOOPipeline().run_trace(trace_result.trace)
+    machine = DynaSpAM(
+        fabric_config=fabric_config,
+        ds_config=ds_config or DynaSpAMConfig(),
+    )
+    result = machine.run(trace_result.trace, trace_result.program)
+    area = FabricAreaModel(fabric_config).fabric_area_mm2()
+    return MixEvaluation(
+        speedup=baseline.cycles / result.cycles if result.cycles else 0.0,
+        fabric_area_mm2=area,
+        mapped_traces=result.mapped_traces,
+        offloaded_traces=result.offloaded_traces,
+        fabric_coverage=result.coverage["fabric"],
+    )

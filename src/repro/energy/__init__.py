@@ -1,0 +1,28 @@
+"""Energy and area models (McPAT / CACTI / Design Compiler stand-ins).
+
+``repro.energy.model`` multiplies the pipeline's event counters by
+per-event energies to produce the Figure 9 component breakdown;
+``repro.energy.cacti`` is a small analytical SRAM model for the
+configuration cache; ``repro.energy.area`` reproduces Table 6 from the
+paper's own OpenSparc T1 module areas.
+"""
+
+from repro.energy.constants import EnergyConstants
+from repro.energy.model import EnergyBreakdown, EnergyModel, FIGURE9_COMPONENTS
+from repro.energy.cacti import SramModel
+from repro.energy.area import (
+    FabricAreaModel,
+    MODULE_AREAS_UM2,
+    PAPER_FABRIC_MM2,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyConstants",
+    "EnergyModel",
+    "FabricAreaModel",
+    "FIGURE9_COMPONENTS",
+    "MODULE_AREAS_UM2",
+    "PAPER_FABRIC_MM2",
+    "SramModel",
+]

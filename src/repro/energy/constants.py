@@ -1,0 +1,67 @@
+"""Per-event energies (pJ) at 32 nm-class ratios.
+
+Absolute values are plausible-scale constants, not calibrated silicon
+numbers; what Figure 9 depends on is their *ratios* — a fetch+decode event
+costs several ALU ops, an L2 access dwarfs an L1 access, FP units cost
+multiples of integer ALUs, and fabric datapath hops are far cheaper than
+register-file/bypass traffic.  All constants live in one dataclass so
+ablation studies can perturb them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Event energies in picojoules."""
+
+    # Front end.
+    fetch_decode: float = 32.0       # I-cache read + decode, per instruction
+    predictor_lookup: float = 4.0
+    btb_miss_refill: float = 6.0
+    icache_miss: float = 80.0
+
+    # Rename.
+    rename: float = 14.0             # map-table read/write + free list, per inst
+
+    # Instruction scheduling (RS wakeup/select + dispatch).
+    dispatch: float = 8.0
+    wakeup: float = 5.0              # per source tag broadcast match
+    select: float = 7.0              # per issued instruction
+
+    # Execution units.
+    int_alu: float = 8.0
+    int_mul: float = 26.0
+    int_div: float = 42.0
+    fp_alu: float = 22.0
+    fp_mul: float = 36.0
+    fp_div: float = 52.0
+
+    # Datapath: register file and bypass network.
+    regfile_read: float = 7.0
+    regfile_write: float = 9.0
+    bypass: float = 5.0
+
+    # Memory system.
+    dcache_access: float = 28.0
+    l2_access: float = 90.0
+    dram_access: float = 320.0
+    store_forward: float = 10.0
+    storesets_access: float = 2.0
+
+    # Commit.
+    rob_write: float = 7.0
+    commit: float = 4.0
+
+    # Fabric (per event).  Spatial execution has no per-op fetch/rename/
+    # scheduling cost; operands move over short configured wires.
+    fabric_pass_register: float = 9.0   # pass-register latch + mux hop
+    fabric_fifo: float = 10.0           # live-in/out FIFO push or pop
+    fabric_static_per_pe_cycle: float = 0.9   # ungated PE leakage
+    fabric_reconfiguration: float = 800.0     # load one configuration
+
+    # Configuration cache (CACTI-style small SRAM).
+    config_cache_read: float = 9.0
+    config_cache_write: float = 12.0

@@ -1,0 +1,116 @@
+"""Component-level energy accounting (the paper's Figure 9).
+
+``EnergyModel.breakdown`` converts a ``PipelineStats`` record into energy
+per Figure 9 component: Fetch, Rename, InstSchedule, Execution, Datapath,
+Memory, ROB, Fabric, and ConfigCache.  Offloaded instructions never touch
+the front-end/scheduling/bypass structures — that is where DynaSpAM's
+energy win comes from; the fabric adds back its own (cheaper) functional
+units, wires, FIFOs, leakage of ungated PEs, and reconfiguration cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.constants import EnergyConstants
+from repro.ooo.stats import PipelineStats
+
+#: Figure 9's component order.
+FIGURE9_COMPONENTS = (
+    "fetch",
+    "rename",
+    "inst_schedule",
+    "execution",
+    "datapath",
+    "memory",
+    "rob",
+    "fabric",
+    "config_cache",
+)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (pJ) per Figure 9 component."""
+
+    components: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def reduction_vs(self, baseline: "EnergyBreakdown") -> float:
+        """Fractional energy reduction relative to ``baseline``."""
+        if baseline.total == 0:
+            return 0.0
+        return 1.0 - self.total / baseline.total
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        """Per-component energy as a fraction of the baseline total."""
+        denom = baseline.total or 1.0
+        return {name: value / denom for name, value in self.components.items()}
+
+
+class EnergyModel:
+    """Event-count to energy conversion."""
+
+    def __init__(self, constants: EnergyConstants | None = None) -> None:
+        self.constants = constants or EnergyConstants()
+
+    def breakdown(self, stats: PipelineStats) -> EnergyBreakdown:
+        c = self.constants
+        components = {
+            "fetch": (
+                stats.fetches * c.fetch_decode
+                + stats.wrongpath_fetches * c.fetch_decode
+                + stats.predictor_lookups * c.predictor_lookup
+                + stats.btb_misses * c.btb_miss_refill
+                + stats.icache_misses * c.icache_miss
+            ),
+            "rename": stats.renames * c.rename,
+            "inst_schedule": (
+                stats.dispatches * c.dispatch
+                + stats.wakeups * c.wakeup
+                + stats.selections * c.select
+            ),
+            "execution": (
+                stats.int_alu_ops * c.int_alu
+                + stats.int_mul_ops * c.int_mul
+                + stats.int_div_ops * c.int_div
+                + stats.fp_alu_ops * c.fp_alu
+                + stats.fp_mul_ops * c.fp_mul
+                + stats.fp_div_ops * c.fp_div
+            ),
+            "datapath": (
+                stats.regfile_reads * c.regfile_read
+                + stats.regfile_writes * c.regfile_write
+                + stats.bypass_transfers * c.bypass
+            ),
+            "memory": (
+                stats.dcache_accesses * c.dcache_access
+                + stats.l2_accesses * c.l2_access
+                + stats.l2_misses * c.dram_access
+                + stats.store_forwards * c.store_forward
+                + (stats.loads + stats.stores) * c.storesets_access
+            ),
+            "rob": stats.rob_writes * c.rob_write + stats.commits * c.commit,
+            "fabric": (
+                stats.fabric_int_alu_ops * c.int_alu
+                + stats.fabric_int_muldiv_ops * c.int_mul
+                + stats.fabric_fp_alu_ops * c.fp_alu
+                + stats.fabric_fp_muldiv_ops * c.fp_mul
+                + stats.fabric_ldst_ops * c.int_alu  # address generation
+                + stats.fabric_datapath_transfers * c.fabric_pass_register
+                + stats.fabric_fifo_ops * c.fabric_fifo
+                + stats.fabric_active_pe_cycles * c.fabric_static_per_pe_cycle
+                + stats.fabric_configurations * c.fabric_reconfiguration
+            ),
+            "config_cache": (
+                stats.config_cache_reads * c.config_cache_read
+                + stats.config_cache_writes * c.config_cache_write
+            ),
+        }
+        return EnergyBreakdown(components)
+
+    def total(self, stats: PipelineStats) -> float:
+        return self.breakdown(stats).total

@@ -1,0 +1,204 @@
+"""Binary encoding of fabric configurations.
+
+The configuration cache stores configurations in 16-byte blocks (Table 4).
+This module defines the bit-level encoding of a mapped trace — per-PE
+opcode and input-mux selects, pass-register routes, live-in/live-out FIFO
+assignments, the simplified memory-instruction list, and the embedded
+branch outcomes — so the framework can account how many blocks a
+configuration occupies and the energy model can charge reconfiguration
+traffic by actual size.
+
+The encoding is a real serialization: ``encode``/``decode`` round-trip the
+fields the fabric needs at execution time.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.fabric.configuration import Configuration, OperandSource, PlacedOp
+from repro.isa.opcodes import Opcode, OpClass
+
+CONFIG_BLOCK_BYTES = 16
+
+_OPCODES = list(Opcode)
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
+_POOLS = ("int_alu", "int_muldiv", "fp_alu", "fp_muldiv", "ldst")
+_POOL_INDEX = {name: i for i, name in enumerate(_POOLS)}
+_KINDS = ("inst", "livein")
+_ROLES = ("src", "base", "value")
+
+_HEADER = struct.Struct("<IHHHHHH")      # anchor pc, counts
+_PLACED = struct.Struct("<BBBBBBHH")     # opcode, stripe, pe, pool/dest,
+                                         # dest/nsrc, flags, pc>>2, pos
+_SOURCE = struct.Struct("<BBH")          # kind|role, hops, payload
+_LIVE = struct.Struct("<BH")             # register index, payload
+
+
+def _reg_to_index(reg: str) -> int:
+    """Registers encode as 0-31 (int) / 32-63 (fp)."""
+    bank = 0 if reg.startswith("r") else 32
+    return bank + int(reg[1:])
+
+
+def _index_to_reg(index: int) -> str:
+    if index < 32:
+        return f"r{index}"
+    return f"f{index - 32}"
+
+
+@dataclass(frozen=True)
+class EncodedConfiguration:
+    """A serialized configuration plus its cache-block footprint."""
+
+    data: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    @property
+    def blocks(self) -> int:
+        return -(-len(self.data) // CONFIG_BLOCK_BYTES)
+
+
+def encode(configuration: Configuration) -> EncodedConfiguration:
+    """Serialize a configuration to its cache image."""
+    anchor_pc, outcomes, length = configuration.trace_key
+    parts = [
+        _HEADER.pack(
+            anchor_pc,
+            length,
+            len(configuration.placements),
+            len(configuration.live_ins),
+            len(configuration.live_outs),
+            len(configuration.mem_op_pcs),
+            sum(1 << i for i, taken in enumerate(outcomes) if taken)
+            | (len(outcomes) << 8),
+        )
+    ]
+    for op in configuration.placements:
+        flags = 0
+        if op.predicted_taken is not None:
+            flags |= 0x1 | (0x2 if op.predicted_taken else 0)
+        if op.mem_index is not None:
+            flags |= 0x4 | (op.mem_index << 3)
+        dest = _reg_to_index(op.dest_reg) if op.dest_reg else 0xFF
+        parts.append(_PLACED.pack(
+            _OPCODE_INDEX[op.opcode],
+            op.stripe,
+            op.pe_index,
+            (_POOL_INDEX[op.pool] << 4) | (dest >> 4),
+            ((dest & 0xF) << 4) | len(op.sources),
+            flags & 0xFF,
+            op.pc >> 2,
+            op.pos,
+        ))
+        roles = op.source_roles or ("src",) * len(op.sources)
+        for src, role in zip(op.sources, roles):
+            kind = _KINDS.index(src.kind) | (_ROLES.index(role) << 4)
+            if src.kind == "inst":
+                payload = src.producer_pos
+            else:
+                payload = _reg_to_index(src.reg)
+            parts.append(_SOURCE.pack(kind, src.hops, payload))
+        if op.mem_index is not None and flags >> 3 > 0x1F:
+            raise ValueError("mem_index too large for the encoding")
+    for reg in configuration.live_ins:
+        parts.append(_LIVE.pack(_reg_to_index(reg), 0))
+    for reg, pos in configuration.live_outs.items():
+        parts.append(_LIVE.pack(_reg_to_index(reg), pos))
+    for pc, kind in zip(configuration.mem_op_pcs, configuration.mem_op_kinds):
+        parts.append(_LIVE.pack(0 if kind == "load" else 1, pc >> 2))
+    return EncodedConfiguration(b"".join(parts))
+
+
+def decode(encoded: EncodedConfiguration) -> Configuration:
+    """Rebuild a configuration from its cache image."""
+    data = encoded.data
+    offset = _HEADER.size
+    (anchor_pc, length, num_placed, num_liveins, num_liveouts, num_mem,
+     outcome_bits) = _HEADER.unpack_from(data)
+    num_outcomes = outcome_bits >> 8
+    outcomes = tuple(
+        bool(outcome_bits & (1 << i)) for i in range(num_outcomes)
+    )
+
+    placements = []
+    for _ in range(num_placed):
+        (op_index, stripe, pe_index, pool_dest_hi, dest_lo_nsrc, flags,
+         pc4, pos) = _PLACED.unpack_from(data, offset)
+        offset += _PLACED.size
+        pool = _POOLS[pool_dest_hi >> 4]
+        dest = ((pool_dest_hi & 0xF) << 4) | (dest_lo_nsrc >> 4)
+        nsrc = dest_lo_nsrc & 0xF
+        sources = []
+        roles = []
+        for _ in range(nsrc):
+            kind_role, hops, payload = _SOURCE.unpack_from(data, offset)
+            offset += _SOURCE.size
+            kind = _KINDS[kind_role & 0xF]
+            roles.append(_ROLES[kind_role >> 4])
+            if kind == "inst":
+                sources.append(OperandSource("inst", producer_pos=payload,
+                                             hops=hops))
+            else:
+                sources.append(OperandSource(
+                    "livein", reg=_index_to_reg(payload), hops=hops))
+        opcode = _OPCODES[op_index]
+        predicted = bool(flags & 0x2) if flags & 0x1 else None
+        mem_index = (flags >> 3) if flags & 0x4 else None
+        placements.append(PlacedOp(
+            pos=pos,
+            opcode=opcode,
+            opclass=opcode_class(opcode),
+            stripe=stripe,
+            pe_index=pe_index,
+            pool=pool,
+            sources=tuple(sources),
+            source_roles=tuple(roles),
+            dest_reg=None if dest == 0xFF else _index_to_reg(dest),
+            pc=pc4 << 2,
+            predicted_taken=predicted,
+            mem_index=mem_index,
+        ))
+
+    live_ins = []
+    for _ in range(num_liveins):
+        reg_index, _pad = _LIVE.unpack_from(data, offset)
+        offset += _LIVE.size
+        live_ins.append(_index_to_reg(reg_index))
+    live_outs = {}
+    for _ in range(num_liveouts):
+        reg_index, pos = _LIVE.unpack_from(data, offset)
+        offset += _LIVE.size
+        live_outs[_index_to_reg(reg_index)] = pos
+    mem_pcs = []
+    mem_kinds = []
+    for _ in range(num_mem):
+        kind, pc4 = _LIVE.unpack_from(data, offset)
+        offset += _LIVE.size
+        mem_pcs.append(pc4 << 2)
+        mem_kinds.append("load" if kind == 0 else "store")
+
+    return Configuration(
+        trace_key=(anchor_pc, outcomes, length),
+        placements=placements,
+        live_ins=tuple(live_ins),
+        live_outs=live_outs,
+        branch_outcomes=outcomes,
+        mem_op_pcs=tuple(mem_pcs),
+        mem_op_kinds=tuple(mem_kinds),
+    )
+
+
+def opcode_class(opcode: Opcode) -> OpClass:
+    from repro.isa.opcodes import opclass_of
+
+    return opclass_of(opcode)
+
+
+def configuration_blocks(configuration: Configuration) -> int:
+    """Cache blocks a configuration occupies (Table 4: 16-byte blocks)."""
+    return encode(configuration).blocks

@@ -1,0 +1,323 @@
+"""The fabric dataflow timing engine.
+
+Executes a configured trace as a dataflow schedule: every placed operation
+starts when its operands arrive (from producer PEs through direct wires or
+pass registers, or from live-in FIFOs over the global bus) and memory
+ordering permits.  Back-to-back invocations pipeline with an initiation
+interval set by the busiest PE and the FIFO depth; loop-carried values flow
+from one invocation's producer directly into the next invocation's live-in
+ports over the global bus (paper Section 3.1, "Trace Offloading").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabric.config import FabricConfig
+from repro.fabric.configuration import Configuration, PlacedOp
+from repro.fabric.fifos import FifoModel
+from repro.fabric.stripe import Stripe, build_stripes
+
+
+@dataclass
+class InvocationContext:
+    """Everything one invocation needs from the outside world.
+
+    ``mem_addrs`` maps a placed op's ``mem_index`` to its effective address
+    for *this* invocation.  ``dcache_access`` is a callable returning the
+    load-to-use latency for an address.  ``extra_mem_wait`` provides
+    lower bounds (e.g. waits on host-pipeline stores predicted by the
+    Store-Sets unit); ``speculative`` selects speculative vs conservative
+    intra-trace memory ordering.
+    """
+
+    start_lower_bound: int
+    live_in_ready: dict[str, int]
+    mem_addrs: dict[int, int]
+    dcache_access: callable
+    speculative: bool = True
+    extra_mem_wait: dict[int, int] = field(default_factory=dict)
+    predicted_store_pos: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class MemEvent:
+    """Timing of one memory operation inside an invocation.
+
+    For stores, ``addr_known`` (base operand arrival) can precede
+    ``finish`` (data available) by many cycles; the distinction drives both
+    conservative ordering and violation detection.
+    """
+
+    pos: int
+    mem_index: int
+    addr: int
+    kind: str            # "load" | "store"
+    start: int = 0       # cycle the op issues (loads) / enters buffer
+    addr_known: int = 0  # cycle the effective address resolves
+    finish: int = 0      # data available (stores) / value returned (loads)
+
+
+@dataclass
+class InvocationResult:
+    """Timing outcome of one invocation."""
+
+    start: int
+    complete: int
+    finish_times: dict[int, int]          # position -> finish cycle
+    liveout_ready: dict[str, int]         # register -> cycle on the bus
+    mem_events: list[MemEvent]
+    violations: list[tuple[int, int]]     # (load pos, store pos) intra-trace
+    structural_ii: int
+    fu_ops: int
+    datapath_transfers: int
+    fifo_ops: int
+    #: Wall-clock cycles this invocation adds to the fabric's busy time
+    #: (pipelined invocations overlap, so this is the start-to-start gap,
+    #: not the full latency) — the leakage-accounting basis.
+    occupancy_cycles: int = 0
+
+
+class SpatialFabric:
+    """One reconfigurable fabric instance."""
+
+    def __init__(self, config: FabricConfig | None = None, fabric_id: int = 0) -> None:
+        self.config = config or FabricConfig()
+        self.fabric_id = fabric_id
+        self.stripes: list[Stripe] = build_stripes(self.config)
+        self.fifo = FifoModel(self.config.fifo_depth)
+
+        # Current configuration state.
+        self.current_key: tuple | None = None
+        self.configured_at: int = 0
+        self.last_invocation_start: int = 0
+        self.last_liveout_times: dict[str, int] = {}
+        self.invocations_on_current: int = 0
+
+        # Lifetime statistics (Table 5).
+        self.reconfigurations: int = 0
+        self.total_invocations: int = 0
+        self.lifetime_invocations: list[int] = []
+
+        # Power-gating accounting: (active PEs, total PEs) per configuration.
+        self.active_pes: int = 0
+
+    # ------------------------------------------------------------------
+    # Configuration management
+    # ------------------------------------------------------------------
+    def is_configured_for(self, trace_key: tuple) -> bool:
+        return self.current_key == trace_key
+
+    def configure(self, configuration: Configuration, cycle: int) -> int:
+        """Load a configuration; returns the cycle the fabric is ready."""
+        if self.current_key is not None and self.invocations_on_current:
+            self.lifetime_invocations.append(self.invocations_on_current)
+        self.current_key = configuration.trace_key
+        self.invocations_on_current = 0
+        self.reconfigurations += 1
+        self.active_pes = configuration.pes_used
+        self.last_liveout_times = {}
+        self.last_invocation_start = cycle
+        self.fifo = FifoModel(self.config.fifo_depth)
+        self.configured_at = cycle
+        return cycle + self.config.reconfig_latency(configuration.stripes_used)
+
+    def flush_lifetime(self) -> list[int]:
+        """Close the books on the current configuration (end of run)."""
+        if self.current_key is not None and self.invocations_on_current:
+            self.lifetime_invocations.append(self.invocations_on_current)
+            self.invocations_on_current = 0
+        return self.lifetime_invocations
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, configuration: Configuration, ctx: InvocationContext
+    ) -> InvocationResult:
+        """Run one invocation of the currently loaded configuration."""
+        if self.current_key != configuration.trace_key:
+            raise ValueError("fabric is not configured for this trace")
+        cfg = self.config
+        bus = cfg.global_bus_latency
+
+        # Invocation admission: FIFO space and pipelined initiation.
+        structural_ii = max(
+            (pe_busy(op) for op in configuration.placements), default=1
+        )
+        start = max(ctx.start_lower_bound, self.fifo.admit_ready_cycle())
+        if self.invocations_on_current:
+            start = max(start, self.last_invocation_start + structural_ii)
+            occupancy = start - self.last_invocation_start
+        else:
+            occupancy = None  # charged below as the full first latency
+
+        finish: dict[int, int] = {}
+        mem_events: list[MemEvent] = []
+        violations: list[tuple[int, int]] = []
+        datapath_transfers = 0
+        fifo_ops = 0
+
+        # Stores seen so far in trace order: (pos, mem_index, addr, finish).
+        older_stores: list[MemEvent] = []
+
+        for op in configuration.placements:
+            ready = start
+            base_arrival = start
+            roles = op.source_roles or ("src",) * len(op.sources)
+            for src, role in zip(op.sources, roles):
+                if src.kind == "inst":
+                    arrival = finish[src.producer_pos] + max(0, src.hops - 1)
+                    datapath_transfers += src.hops
+                else:  # live-in over the global bus
+                    arrival = ctx.live_in_ready.get(src.reg, start) + bus
+                    fifo_ops += 1
+                if arrival > ready:
+                    ready = arrival
+                if role == "base" and arrival > base_arrival:
+                    base_arrival = arrival
+
+            if op.is_load or op.is_store:
+                event = MemEvent(
+                    pos=op.pos,
+                    mem_index=op.mem_index,
+                    addr=ctx.mem_addrs[op.mem_index],
+                    kind="load" if op.is_load else "store",
+                )
+                extra = ctx.extra_mem_wait.get(op.mem_index, start)
+                if op.is_store:
+                    self._time_store(event, base_arrival, ready, extra,
+                                     older_stores, ctx.speculative)
+                    older_stores.append(event)
+                else:
+                    violation = self._time_load(
+                        op, event, ready, extra, older_stores, ctx
+                    )
+                    if violation is not None:
+                        violations.append((op.pos, violation))
+                mem_events.append(event)
+                finish[op.pos] = event.finish
+            else:
+                finish[op.pos] = ready + op.latency
+
+        liveout_ready = {}
+        for reg, pos in configuration.live_outs.items():
+            liveout_ready[reg] = finish[pos] + bus
+            fifo_ops += 1
+
+        complete = start
+        if finish:
+            complete = max(finish.values())
+        # Branch results and live-outs drain through the output FIFOs.
+        complete += bus
+
+        self.fifo.push(complete)
+        self.last_invocation_start = start
+        self.last_liveout_times = dict(liveout_ready)
+        self.invocations_on_current += 1
+        self.total_invocations += 1
+
+        if occupancy is None:
+            occupancy = complete - start
+        return InvocationResult(
+            start=start,
+            complete=complete,
+            finish_times=finish,
+            liveout_ready=liveout_ready,
+            mem_events=mem_events,
+            violations=violations,
+            structural_ii=structural_ii,
+            fu_ops=len(configuration.placements),
+            datapath_transfers=datapath_transfers,
+            fifo_ops=fifo_ops,
+            occupancy_cycles=max(1, occupancy),
+        )
+
+    @staticmethod
+    def _time_store(
+        event: MemEvent,
+        base_arrival: int,
+        data_arrival: int,
+        extra_wait: int,
+        older_stores: list[MemEvent],
+        speculative: bool,
+    ) -> None:
+        """Assign timing to a store.
+
+        The address resolves when the base operand arrives; the memory
+        reservation buffer allocates entries in order, so the address is
+        also ordered behind older stores' address resolutions.  Data may
+        arrive much later.  Without speculation, store-store *execution*
+        order is preserved outright (Figure 8's "w/o speculation" series).
+        """
+        addr_known = max(base_arrival, extra_wait)
+        for store in older_stores:
+            if store.addr_known > addr_known:
+                addr_known = store.addr_known
+        event.start = addr_known
+        event.addr_known = addr_known
+        event.finish = max(addr_known, data_arrival) + 1
+        if not speculative:
+            for store in older_stores:
+                if store.finish + 1 > event.finish:
+                    event.finish = store.finish + 1
+
+    def _time_load(
+        self,
+        op: PlacedOp,
+        event: MemEvent,
+        ready: int,
+        extra_wait: int,
+        older_stores: list[MemEvent],
+        ctx: InvocationContext,
+    ) -> int | None:
+        """Assign timing to a load; returns a violating store pos or None.
+
+        Conservative mode preserves *all* load-store orderings: the load
+        may not execute until every older store has executed (its data is
+        in the reservation buffer).  Speculative mode: the load waits only
+        for the store the Store-Sets unit predicts; an older aliasing store
+        whose address resolves *after* the load issued is a memory-order
+        violation.  A store whose address was known in time forwards its
+        data without a violation (a normal LSQ forward).
+        """
+        ready = max(ready, extra_wait)
+        if not ctx.speculative:
+            for store in older_stores:
+                if store.finish > ready:
+                    ready = store.finish
+        else:
+            predicted_pos = ctx.predicted_store_pos.get(op.mem_index)
+            if predicted_pos is not None:
+                for store in older_stores:
+                    if store.pos == predicted_pos and store.finish > ready:
+                        ready = store.finish
+
+        event.start = ready
+        event.addr_known = ready
+        violation: int | None = None
+        alias: MemEvent | None = None
+        for store in reversed(older_stores):
+            if store.addr == event.addr:
+                alias = store
+                break
+        if alias is not None:
+            if ctx.speculative and alias.addr_known > ready:
+                violation = alias.pos
+                event.finish = alias.finish + 1
+            elif alias.finish > ready:
+                event.finish = alias.finish + 1   # in-flight forward
+            else:
+                event.finish = ready + 1          # buffered forward
+        else:
+            event.finish = ready + 1 + ctx.dcache_access(event.addr)
+        return violation
+
+
+def pe_busy(op: PlacedOp) -> int:
+    """Cycles per invocation the op's PE stays busy (pipelining bound)."""
+    from repro.isa.opcodes import FU_PIPELINED, OpClass
+
+    if op.opclass in (OpClass.LOAD, OpClass.STORE):
+        return 1
+    return 1 if FU_PIPELINED[op.opclass] else op.latency

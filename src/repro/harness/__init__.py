@@ -1,0 +1,37 @@
+"""Experiment harness: one driver per evaluation table and figure.
+
+``python -m repro.harness <experiment>`` regenerates any of: ``table3``,
+``table4``, ``fig7``, ``table5``, ``fig8``, ``fig9``, ``table6``, or
+``all``.  The ``benchmarks/`` directory wraps the same drivers in
+pytest-benchmark targets.
+"""
+
+from repro.harness.runner import (
+    clear_run_cache,
+    run_baseline,
+    run_dynaspam,
+    RunKey,
+)
+from repro.harness.experiments import (
+    figure7_coverage,
+    figure8_performance,
+    figure9_energy,
+    table3_benchmarks,
+    table4_parameters,
+    table5_lifetime,
+    table6_area,
+)
+
+__all__ = [
+    "clear_run_cache",
+    "figure7_coverage",
+    "figure8_performance",
+    "figure9_energy",
+    "run_baseline",
+    "run_dynaspam",
+    "RunKey",
+    "table3_benchmarks",
+    "table4_parameters",
+    "table5_lifetime",
+    "table6_area",
+]

@@ -1,0 +1,58 @@
+"""Command-line entry point: regenerate any evaluation table or figure.
+
+Usage::
+
+    python -m repro.harness fig8 [--scale 1.0]
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments
+
+
+def _characterization(scale: float) -> str:
+    from repro.harness.characterization import characterization
+
+    return characterization(scale).render()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate DynaSpAM evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["table3", "table4", "fig7", "table5", "fig8", "fig9",
+                 "table6", "table7", "workloads", "all"],
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="benchmark problem-size scale (default 1.0)")
+    args = parser.parse_args(argv)
+
+    jobs = {
+        "table3": lambda: experiments.table3_benchmarks(),
+        "table4": lambda: experiments.table4_parameters(),
+        "fig7": lambda: experiments.figure7_coverage(args.scale).render(),
+        "table5": lambda: experiments.table5_lifetime(args.scale).render(),
+        "fig8": lambda: experiments.figure8_performance(args.scale).render(),
+        "fig9": lambda: experiments.figure9_energy(args.scale).render(),
+        "table6": lambda: experiments.table6_area().render(),
+        "table7": lambda: experiments.table7_related_work(),
+        "workloads": lambda: _characterization(args.scale),
+    }
+    names = list(jobs) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(jobs[name]())
+        print(f"[{name} regenerated in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results (tables and bar series)."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(cells, pad=" "):
+        return " | ".join(c.rjust(w, pad[0]) if pad == " " else c.ljust(w)
+                          for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_bars(
+    series: dict[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart (one bar per key)."""
+    out = [title] if title else []
+    peak = max(series.values(), default=1.0) or 1.0
+    label_width = max((len(k) for k in series), default=4)
+    for name, value in series.items():
+        bar = "#" * max(1, int(round(width * value / peak)))
+        out.append(f"{name.rjust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(out)
+
+
+def format_stacked(
+    rows: dict[str, dict[str, float]],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Render stacked 0..1 fractions (Figure 7's coverage bars)."""
+    symbols = {"host": ".", "mapping": "m", "fabric": "#"}
+    out = [title] if title else []
+    label_width = max((len(k) for k in rows), default=4)
+    for name, fractions in rows.items():
+        bar = ""
+        for part, symbol in symbols.items():
+            bar += symbol * int(round(width * fractions.get(part, 0.0)))
+        out.append(
+            f"{name.rjust(label_width)} | {bar.ljust(width)} "
+            f"host={fractions.get('host', 0):.0%} "
+            f"map={fractions.get('mapping', 0):.1%} "
+            f"fabric={fractions.get('fabric', 0):.0%}"
+        )
+    return "\n".join(out)

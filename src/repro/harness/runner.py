@@ -1,0 +1,81 @@
+"""Simulation drivers with run-level caching.
+
+Figure 8 and Figure 9 share the same accelerated runs, and Figure 7 reuses
+runs across trace lengths; caching by run key keeps a full experiment
+sweep to one simulation per distinct configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import DynaSpAM, DynaSpAMConfig, DynaSpAMResult
+from repro.ooo.pipeline import OOOPipeline, PipelineResult
+from repro.workloads import generate_trace
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Identity of one simulation run."""
+
+    abbrev: str
+    scale: float
+    mode: str = "baseline"
+    speculation: bool = True
+    trace_length: int = 32
+    num_fabrics: int = 1
+    mapper: str = "resource_aware"
+
+
+_BASELINE_CACHE: dict[tuple, PipelineResult] = {}
+_DYNASPAM_CACHE: dict[RunKey, DynaSpAMResult] = {}
+
+
+def clear_run_cache() -> None:
+    _BASELINE_CACHE.clear()
+    _DYNASPAM_CACHE.clear()
+
+
+def run_baseline(abbrev: str, scale: float = 1.0) -> PipelineResult:
+    """Simulate a benchmark on the plain host OOO pipeline."""
+    key = (abbrev, scale)
+    if key not in _BASELINE_CACHE:
+        trace = generate_trace(abbrev, scale)
+        _BASELINE_CACHE[key] = OOOPipeline().run_trace(trace.trace)
+    return _BASELINE_CACHE[key]
+
+
+def run_dynaspam(
+    abbrev: str,
+    scale: float = 1.0,
+    mode: str = "accelerate",
+    speculation: bool = True,
+    trace_length: int = 32,
+    num_fabrics: int = 1,
+    mapper: str = "resource_aware",
+) -> DynaSpAMResult:
+    """Simulate a benchmark on the DynaSpAM-augmented core."""
+    key = RunKey(abbrev, scale, mode, speculation, trace_length,
+                 num_fabrics, mapper)
+    if key not in _DYNASPAM_CACHE:
+        trace = generate_trace(abbrev, scale)
+        machine = DynaSpAM(
+            ds_config=DynaSpAMConfig(
+                mode=mode,
+                speculation=speculation,
+                trace_length=trace_length,
+                num_fabrics=num_fabrics,
+                mapper=mapper,
+            )
+        )
+        _DYNASPAM_CACHE[key] = machine.run(trace.trace, trace.program)
+    return _DYNASPAM_CACHE[key]
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's summary statistic)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

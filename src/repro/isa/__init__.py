@@ -1,0 +1,39 @@
+"""Instruction-set substrate for the DynaSpAM reproduction.
+
+This package defines a small RISC-like ISA, containers for static programs,
+a builder DSL for writing kernels, and a functional executor that produces
+the dynamic instruction traces consumed by the cycle-level simulators.
+"""
+
+from repro.isa.opcodes import FU_LATENCY, Opcode, OpClass
+from repro.isa.registers import ArchRegisterFile, FREGS, IREGS, is_fp_reg, is_int_reg
+from repro.isa.instructions import DynamicInstruction, Instruction
+from repro.isa.program import BasicBlock, Program, ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import (
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    FunctionalExecutor,
+    Memory,
+)
+
+__all__ = [
+    "ArchRegisterFile",
+    "BasicBlock",
+    "DynamicInstruction",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "FREGS",
+    "FU_LATENCY",
+    "FunctionalExecutor",
+    "Instruction",
+    "IREGS",
+    "Memory",
+    "is_fp_reg",
+    "is_int_reg",
+    "Opcode",
+    "OpClass",
+    "Program",
+    "ProgramBuilder",
+    "ProgramError",
+]

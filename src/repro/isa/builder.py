@@ -1,0 +1,261 @@
+"""Assembly-builder DSL for writing kernels.
+
+Kernels are written as Python methods emitting one instruction per call::
+
+    b = ProgramBuilder("dot")
+    b.label("loop")
+    b.flw("f1", "r1", 0)
+    b.flw("f2", "r2", 0)
+    b.fmul("f3", "f1", "f2")
+    b.fadd("f4", "f4", "f3")
+    b.addi("r1", "r1", 4)
+    b.addi("r2", "r2", 4)
+    b.addi("r3", "r3", -1)
+    b.bne("r3", "r0", "loop")
+    b.halt()
+    program = b.build()
+
+Every emit method validates register names eagerly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BasicBlock, Program, ProgramError
+from repro.isa.registers import validate_reg
+
+
+class ProgramBuilder:
+    """Incrementally builds a ``Program`` out of emitted instructions."""
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._blocks: list[BasicBlock] = [BasicBlock("entry")]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def label(self, name: str) -> None:
+        """Start a new basic block named ``name``."""
+        if not self._blocks[-1].instructions and self._blocks[-1].label == "entry" \
+                and len(self._blocks) == 1:
+            # Allow renaming an unused implicit entry block.
+            self._blocks[-1] = BasicBlock(name)
+            return
+        self._blocks.append(BasicBlock(name))
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        dest: str | None = None,
+        srcs: tuple[str, ...] = (),
+        imm: float | int | None = None,
+        target: str | None = None,
+    ) -> None:
+        if dest is not None:
+            validate_reg(dest)
+        for src in srcs:
+            validate_reg(src)
+        self._blocks[-1].append(Instruction(opcode, dest, srcs, imm, target))
+
+    def build(self) -> Program:
+        """Link and return the finished program."""
+        return Program(self._blocks, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Loop helpers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def countdown(self, label: str, counter: str, count: int | None = None):
+        """Counted loop running the body ``count`` times (``counter`` counts
+        down to zero).  If ``count`` is None the counter register must have
+        been initialized by the caller and must be positive."""
+        if count is not None:
+            if count < 1:
+                raise ProgramError(f"loop {label!r}: count must be >= 1")
+            self.li(counter, count)
+        self.label(label)
+        yield
+        self.addi(counter, counter, -1)
+        self.bne(counter, "r0", label)
+
+    @contextmanager
+    def for_up(self, label: str, idx: str, bound: str):
+        """Up-counting loop: ``for idx in 0..bound-1`` with ``bound`` in a
+        register (must be >= 1 at runtime)."""
+        self.li(idx, 0)
+        self.label(label)
+        yield
+        self.addi(idx, idx, 1)
+        self.blt(idx, bound, label)
+
+    # ------------------------------------------------------------------
+    # Integer ALU
+    # ------------------------------------------------------------------
+    def add(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.ADD, d, (a, b))
+
+    def addi(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.ADD, d, (a,), imm=imm)
+
+    def sub(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.SUB, d, (a, b))
+
+    def subi(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.SUB, d, (a,), imm=imm)
+
+    def and_(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.AND, d, (a, b))
+
+    def andi(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.AND, d, (a,), imm=imm)
+
+    def or_(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.OR, d, (a, b))
+
+    def xor(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.XOR, d, (a, b))
+
+    def xori(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.XOR, d, (a,), imm=imm)
+
+    def shl(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.SHL, d, (a,), imm=imm)
+
+    def shr(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.SHR, d, (a,), imm=imm)
+
+    def slt(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.SLT, d, (a, b))
+
+    def slti(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.SLT, d, (a,), imm=imm)
+
+    def sle(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.SLE, d, (a, b))
+
+    def seq(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.SEQ, d, (a, b))
+
+    def min_(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.MIN, d, (a, b))
+
+    def max_(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.MAX, d, (a, b))
+
+    def abs_(self, d: str, a: str) -> None:
+        self._emit(Opcode.ABS, d, (a,))
+
+    def mov(self, d: str, a: str) -> None:
+        self._emit(Opcode.MOV, d, (a,))
+
+    def li(self, d: str, imm: int) -> None:
+        self._emit(Opcode.LI, d, (), imm=imm)
+
+    # ------------------------------------------------------------------
+    # Integer multiply / divide
+    # ------------------------------------------------------------------
+    def mul(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.MUL, d, (a, b))
+
+    def muli(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.MUL, d, (a,), imm=imm)
+
+    def div(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.DIV, d, (a, b))
+
+    def rem(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.REM, d, (a, b))
+
+    def remi(self, d: str, a: str, imm: int) -> None:
+        self._emit(Opcode.REM, d, (a,), imm=imm)
+
+    # ------------------------------------------------------------------
+    # Floating point
+    # ------------------------------------------------------------------
+    def fadd(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.FADD, d, (a, b))
+
+    def fsub(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.FSUB, d, (a, b))
+
+    def fmul(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.FMUL, d, (a, b))
+
+    def fdiv(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.FDIV, d, (a, b))
+
+    def fsqrt(self, d: str, a: str) -> None:
+        self._emit(Opcode.FSQRT, d, (a,))
+
+    def fmin(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.FMIN, d, (a, b))
+
+    def fmax(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.FMAX, d, (a, b))
+
+    def fabs(self, d: str, a: str) -> None:
+        self._emit(Opcode.FABS, d, (a,))
+
+    def fneg(self, d: str, a: str) -> None:
+        self._emit(Opcode.FNEG, d, (a,))
+
+    def fmov(self, d: str, a: str) -> None:
+        self._emit(Opcode.FMOV, d, (a,))
+
+    def fli(self, d: str, imm: float) -> None:
+        self._emit(Opcode.FLI, d, (), imm=imm)
+
+    def fslt(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.FSLT, d, (a, b))
+
+    def fsle(self, d: str, a: str, b: str) -> None:
+        self._emit(Opcode.FSLE, d, (a, b))
+
+    def cvtif(self, d: str, a: str) -> None:
+        self._emit(Opcode.CVTIF, d, (a,))
+
+    def cvtfi(self, d: str, a: str) -> None:
+        self._emit(Opcode.CVTFI, d, (a,))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def lw(self, d: str, base: str, offset: int = 0) -> None:
+        self._emit(Opcode.LW, d, (base,), imm=offset)
+
+    def sw(self, base: str, value: str, offset: int = 0) -> None:
+        self._emit(Opcode.SW, None, (base, value), imm=offset)
+
+    def flw(self, d: str, base: str, offset: int = 0) -> None:
+        self._emit(Opcode.FLW, d, (base,), imm=offset)
+
+    def fsw(self, base: str, value: str, offset: int = 0) -> None:
+        self._emit(Opcode.FSW, None, (base, value), imm=offset)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def beq(self, a: str, b: str, target: str) -> None:
+        self._emit(Opcode.BEQ, None, (a, b), target=target)
+
+    def bne(self, a: str, b: str, target: str) -> None:
+        self._emit(Opcode.BNE, None, (a, b), target=target)
+
+    def blt(self, a: str, b: str, target: str) -> None:
+        self._emit(Opcode.BLT, None, (a, b), target=target)
+
+    def bge(self, a: str, b: str, target: str) -> None:
+        self._emit(Opcode.BGE, None, (a, b), target=target)
+
+    def jmp(self, target: str) -> None:
+        self._emit(Opcode.JMP, None, (), target=target)
+
+    def halt(self) -> None:
+        self._emit(Opcode.HALT)
+
+    def nop(self) -> None:
+        self._emit(Opcode.NOP)

@@ -1,0 +1,235 @@
+"""Functional executor: runs a program and emits its dynamic trace.
+
+The cycle-level simulators in ``repro.ooo`` and ``repro.core`` are
+trace-driven: they consume the correct-path dynamic instruction stream this
+executor produces.  Each ``DynamicInstruction`` carries the resolved branch
+outcome and effective memory address, which is everything a timing model
+needs; values stay inside the executor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import DynamicInstruction, Instruction, WORD_SIZE
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import ArchRegisterFile
+
+
+class ExecutionLimitExceeded(Exception):
+    """Raised when a program runs past the dynamic instruction limit."""
+
+
+class Memory:
+    """Word-granular sparse memory.
+
+    Addresses are byte addresses and must be word (4-byte) aligned; values
+    are Python ints or floats.  Unwritten locations read as zero.
+    """
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: dict[int, float | int] = {}
+
+    def load(self, addr: int) -> float | int:
+        self._check(addr)
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: float | int) -> None:
+        self._check(addr)
+        self._words[addr] = value
+
+    @staticmethod
+    def _check(addr: int) -> None:
+        if addr < 0 or addr % WORD_SIZE:
+            raise ValueError(f"misaligned or negative address 0x{addr:x}")
+
+    def store_array(self, base: int, values) -> None:
+        """Store a sequence of words starting at ``base``."""
+        for i, value in enumerate(values):
+            self.store(base + i * WORD_SIZE, value)
+
+    def load_array(self, base: int, count: int) -> list[float | int]:
+        """Load ``count`` consecutive words starting at ``base``."""
+        return [self.load(base + i * WORD_SIZE) for i in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a functional run."""
+
+    program: Program
+    trace: list[DynamicInstruction]
+    registers: ArchRegisterFile
+    memory: Memory
+    dynamic_count: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.dynamic_count = len(self.trace)
+
+
+class FunctionalExecutor:
+    """Interprets a ``Program`` against a ``Memory`` image."""
+
+    def __init__(self, max_instructions: int = 5_000_000) -> None:
+        self.max_instructions = max_instructions
+
+    def run(
+        self,
+        program: Program,
+        memory: Memory | None = None,
+        registers: ArchRegisterFile | None = None,
+        collect_trace: bool = True,
+    ) -> ExecutionResult:
+        """Execute ``program`` to completion and return its dynamic trace."""
+        memory = memory if memory is not None else Memory()
+        regs = registers if registers is not None else ArchRegisterFile()
+        trace: list[DynamicInstruction] = []
+        pc = program.entry_pc
+        seq = 0
+        by_pc = program.by_pc
+
+        while True:
+            if seq >= self.max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"{program.name}: exceeded {self.max_instructions} dynamic instructions"
+                )
+            inst = by_pc.get(pc)
+            if inst is None:
+                raise RuntimeError(f"{program.name}: fell off program at pc=0x{pc:x}")
+
+            addr, taken, next_pc, halted = self._step(program, inst, regs, memory, pc)
+            if collect_trace:
+                trace.append(DynamicInstruction(seq, inst, addr, taken, next_pc))
+            seq += 1
+            if halted:
+                break
+            pc = next_pc
+
+        return ExecutionResult(program, trace, regs, memory)
+
+    def _step(
+        self,
+        program: Program,
+        inst: Instruction,
+        regs: ArchRegisterFile,
+        memory: Memory,
+        pc: int,
+    ) -> tuple[int | None, bool | None, int, bool]:
+        """Execute one instruction; return (mem addr, taken, next pc, halted)."""
+        op = inst.opcode
+        fallthrough = pc + WORD_SIZE
+
+        def src(i: int):
+            return regs.read(inst.srcs[i])
+
+        def second_operand():
+            """Second ALU operand: register if present, else immediate."""
+            if len(inst.srcs) >= 2:
+                return regs.read(inst.srcs[1])
+            return inst.imm
+
+        addr: int | None = None
+        taken: bool | None = None
+        next_pc = fallthrough
+        halted = False
+
+        if op is Opcode.ADD:
+            regs.write(inst.dest, src(0) + second_operand())
+        elif op is Opcode.SUB:
+            regs.write(inst.dest, src(0) - second_operand())
+        elif op is Opcode.AND:
+            regs.write(inst.dest, src(0) & int(second_operand()))
+        elif op is Opcode.OR:
+            regs.write(inst.dest, src(0) | int(second_operand()))
+        elif op is Opcode.XOR:
+            regs.write(inst.dest, src(0) ^ int(second_operand()))
+        elif op is Opcode.SHL:
+            regs.write(inst.dest, src(0) << int(second_operand()))
+        elif op is Opcode.SHR:
+            regs.write(inst.dest, src(0) >> int(second_operand()))
+        elif op is Opcode.SLT:
+            regs.write(inst.dest, 1 if src(0) < second_operand() else 0)
+        elif op is Opcode.SLE:
+            regs.write(inst.dest, 1 if src(0) <= second_operand() else 0)
+        elif op is Opcode.SEQ:
+            regs.write(inst.dest, 1 if src(0) == second_operand() else 0)
+        elif op is Opcode.MIN:
+            regs.write(inst.dest, min(src(0), second_operand()))
+        elif op is Opcode.MAX:
+            regs.write(inst.dest, max(src(0), second_operand()))
+        elif op is Opcode.ABS:
+            regs.write(inst.dest, abs(src(0)))
+        elif op in (Opcode.MOV, Opcode.FMOV):
+            regs.write(inst.dest, src(0))
+        elif op in (Opcode.LI, Opcode.FLI):
+            regs.write(inst.dest, inst.imm)
+        elif op is Opcode.MUL:
+            regs.write(inst.dest, src(0) * second_operand())
+        elif op is Opcode.DIV:
+            divisor = second_operand()
+            regs.write(inst.dest, 0 if divisor == 0 else int(src(0) / divisor))
+        elif op is Opcode.REM:
+            divisor = int(second_operand())
+            regs.write(inst.dest, 0 if divisor == 0 else src(0) % divisor)
+        elif op is Opcode.FADD:
+            regs.write(inst.dest, src(0) + second_operand())
+        elif op is Opcode.FSUB:
+            regs.write(inst.dest, src(0) - second_operand())
+        elif op is Opcode.FMUL:
+            regs.write(inst.dest, src(0) * second_operand())
+        elif op is Opcode.FDIV:
+            divisor = second_operand()
+            regs.write(inst.dest, 0.0 if divisor == 0 else src(0) / divisor)
+        elif op is Opcode.FSQRT:
+            value = src(0)
+            regs.write(inst.dest, math.sqrt(value) if value > 0 else 0.0)
+        elif op is Opcode.FMIN:
+            regs.write(inst.dest, min(src(0), second_operand()))
+        elif op is Opcode.FMAX:
+            regs.write(inst.dest, max(src(0), second_operand()))
+        elif op is Opcode.FABS:
+            regs.write(inst.dest, abs(src(0)))
+        elif op is Opcode.FNEG:
+            regs.write(inst.dest, -src(0))
+        elif op is Opcode.FSLT:
+            regs.write(inst.dest, 1 if src(0) < second_operand() else 0)
+        elif op is Opcode.FSLE:
+            regs.write(inst.dest, 1 if src(0) <= second_operand() else 0)
+        elif op is Opcode.CVTIF:
+            regs.write(inst.dest, float(src(0)))
+        elif op is Opcode.CVTFI:
+            regs.write(inst.dest, int(src(0)))
+        elif op in (Opcode.LW, Opcode.FLW):
+            addr = int(src(0)) + int(inst.imm or 0)
+            regs.write(inst.dest, memory.load(addr))
+        elif op in (Opcode.SW, Opcode.FSW):
+            addr = int(src(0)) + int(inst.imm or 0)
+            memory.store(addr, src(1))
+        elif op is Opcode.BEQ:
+            taken = src(0) == src(1)
+        elif op is Opcode.BNE:
+            taken = src(0) != src(1)
+        elif op is Opcode.BLT:
+            taken = src(0) < src(1)
+        elif op is Opcode.BGE:
+            taken = src(0) >= src(1)
+        elif op is Opcode.JMP:
+            next_pc = program.target_pc(inst)
+        elif op is Opcode.HALT:
+            halted = True
+        elif op is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - exhaustive over the ISA
+            raise RuntimeError(f"unimplemented opcode {op}")
+
+        if taken is not None:
+            next_pc = program.target_pc(inst) if taken else fallthrough
+
+        return addr, taken, next_pc, halted

@@ -1,0 +1,168 @@
+"""Static and dynamic instruction records.
+
+``Instruction`` is the static form that lives inside a ``Program``;
+``DynamicInstruction`` is one executed instance of it, produced by the
+functional executor, carrying the resolved branch outcome and effective
+memory address that the trace-driven cycle simulators need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode, OpClass, latency_of, opclass_of
+
+WORD_SIZE = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A static instruction.
+
+    Parameters
+    ----------
+    opcode:
+        Operation to perform.
+    dest:
+        Destination register name, or ``None`` for stores/branches.
+    srcs:
+        Source register names.  For memory ops the first source is the base
+        address register; for stores the second source is the value.
+    imm:
+        Immediate operand (offset for memory ops, literal for LI/FLI,
+        shift amounts, ...).
+    target:
+        Branch/jump target label, resolved to a PC when the program links.
+    """
+
+    opcode: Opcode
+    dest: str | None = None
+    srcs: tuple[str, ...] = ()
+    imm: float | int | None = None
+    target: str | None = None
+    pc: int = field(default=-1, compare=False)
+
+    @property
+    def opclass(self) -> OpClass:
+        return opclass_of(self.opcode)
+
+    @property
+    def latency(self) -> int:
+        return latency_of(self.opcode)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass.is_memory
+
+    def with_pc(self, pc: int) -> "Instruction":
+        """Return a copy of this instruction placed at ``pc``."""
+        return Instruction(self.opcode, self.dest, self.srcs, self.imm, self.target, pc)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.opcode.value]
+        if self.dest:
+            parts.append(self.dest)
+        parts.extend(self.srcs)
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        return " ".join(parts)
+
+
+class DynamicInstruction:
+    """One executed instance of a static instruction.
+
+    Attributes
+    ----------
+    seq:
+        Position in the dynamic instruction stream (0-based).
+    static:
+        The static ``Instruction`` executed.
+    addr:
+        Effective byte address for loads/stores, else ``None``.
+    taken:
+        Branch outcome for branches, else ``None``.
+    next_pc:
+        PC of the next dynamic instruction (the branch target when taken).
+    """
+
+    __slots__ = ("seq", "static", "addr", "taken", "next_pc")
+
+    def __init__(
+        self,
+        seq: int,
+        static: Instruction,
+        addr: int | None = None,
+        taken: bool | None = None,
+        next_pc: int = -1,
+    ) -> None:
+        self.seq = seq
+        self.static = static
+        self.addr = addr
+        self.taken = taken
+        self.next_pc = next_pc
+
+    @property
+    def pc(self) -> int:
+        return self.static.pc
+
+    @property
+    def opcode(self) -> Opcode:
+        return self.static.opcode
+
+    @property
+    def opclass(self) -> OpClass:
+        return self.static.opclass
+
+    @property
+    def dest(self) -> str | None:
+        return self.static.dest
+
+    @property
+    def srcs(self) -> tuple[str, ...]:
+        return self.static.srcs
+
+    @property
+    def is_branch(self) -> bool:
+        return self.static.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.static.is_control
+
+    @property
+    def is_load(self) -> bool:
+        return self.static.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.static.is_store
+
+    @property
+    def is_memory(self) -> bool:
+        return self.static.is_memory
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.addr is not None:
+            extra = f" @0x{self.addr:x}"
+        if self.taken is not None:
+            extra += f" taken={self.taken}"
+        return f"<#{self.seq} pc=0x{self.pc:x} {self.static}{extra}>"

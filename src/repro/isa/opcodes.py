@@ -1,0 +1,172 @@
+"""Opcode definitions, operation classes, and functional-unit latencies.
+
+The ISA is deliberately small: enough to express the Rodinia-like kernels
+(integer/floating arithmetic, loads/stores, conditional branches) while
+staying close to the operation classes the paper's Table 4 configures
+(4 Int ALUs, 1 Int MUL/DIV, 4 FP ALUs, 1 FP MUL/DIV, 2 LDST units).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class an operation executes on."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ALU = "fp_alu"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self in (OpClass.BRANCH, OpClass.JUMP)
+
+
+class Opcode(enum.Enum):
+    """Operations of the reproduction ISA."""
+
+    # Integer ALU
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SLT = "slt"          # set-if-less-than (signed)
+    SLE = "sle"          # set-if-less-or-equal
+    SEQ = "seq"          # set-if-equal
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    MOV = "mov"          # register copy / load-immediate when src is r0
+    LI = "li"            # load immediate
+    # Integer multiply / divide
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    # Floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FABS = "fabs"
+    FNEG = "fneg"
+    FMOV = "fmov"
+    FLI = "fli"          # load float immediate
+    FSLT = "fslt"        # float compare, integer 0/1 result
+    FSLE = "fsle"
+    CVTIF = "cvtif"      # int -> float
+    CVTFI = "cvtfi"      # float -> int (truncate)
+    # Memory
+    LW = "lw"            # integer load
+    SW = "sw"            # integer store
+    FLW = "flw"          # float load
+    FSW = "fsw"          # float store
+    # Control
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"
+    HALT = "halt"
+    NOP = "nop"
+
+
+_INT_ALU_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SHL, Opcode.SHR, Opcode.SLT, Opcode.SLE, Opcode.SEQ,
+        Opcode.MIN, Opcode.MAX, Opcode.ABS, Opcode.MOV, Opcode.LI,
+        Opcode.CVTFI,
+    }
+)
+_FP_ALU_OPS = frozenset(
+    {
+        Opcode.FADD, Opcode.FSUB, Opcode.FMIN, Opcode.FMAX, Opcode.FABS,
+        Opcode.FNEG, Opcode.FMOV, Opcode.FLI, Opcode.FSLT, Opcode.FSLE,
+        Opcode.CVTIF,
+    }
+)
+
+OPCODE_CLASS: dict[Opcode, OpClass] = {}
+for _op in _INT_ALU_OPS:
+    OPCODE_CLASS[_op] = OpClass.INT_ALU
+for _op in _FP_ALU_OPS:
+    OPCODE_CLASS[_op] = OpClass.FP_ALU
+OPCODE_CLASS[Opcode.MUL] = OpClass.INT_MUL
+OPCODE_CLASS[Opcode.DIV] = OpClass.INT_DIV
+OPCODE_CLASS[Opcode.REM] = OpClass.INT_DIV
+OPCODE_CLASS[Opcode.FMUL] = OpClass.FP_MUL
+OPCODE_CLASS[Opcode.FDIV] = OpClass.FP_DIV
+OPCODE_CLASS[Opcode.FSQRT] = OpClass.FP_DIV
+OPCODE_CLASS[Opcode.LW] = OpClass.LOAD
+OPCODE_CLASS[Opcode.FLW] = OpClass.LOAD
+OPCODE_CLASS[Opcode.SW] = OpClass.STORE
+OPCODE_CLASS[Opcode.FSW] = OpClass.STORE
+OPCODE_CLASS[Opcode.BEQ] = OpClass.BRANCH
+OPCODE_CLASS[Opcode.BNE] = OpClass.BRANCH
+OPCODE_CLASS[Opcode.BLT] = OpClass.BRANCH
+OPCODE_CLASS[Opcode.BGE] = OpClass.BRANCH
+OPCODE_CLASS[Opcode.JMP] = OpClass.JUMP
+OPCODE_CLASS[Opcode.HALT] = OpClass.JUMP
+OPCODE_CLASS[Opcode.NOP] = OpClass.NOP
+
+# Execution latency (cycles) per functional-unit class.  Loads add cache
+# access latency on top of their address-generation cycle; the value here is
+# the address-generation cost only.
+FU_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 12,
+    OpClass.FP_ALU: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 12,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.NOP: 1,
+}
+
+# Whether a functional unit of the class is pipelined (new op every cycle)
+# or blocks until the in-flight op completes.
+FU_PIPELINED: dict[OpClass, bool] = {
+    OpClass.INT_ALU: True,
+    OpClass.INT_MUL: True,
+    OpClass.INT_DIV: False,
+    OpClass.FP_ALU: True,
+    OpClass.FP_MUL: True,
+    OpClass.FP_DIV: False,
+    OpClass.LOAD: True,
+    OpClass.STORE: True,
+    OpClass.BRANCH: True,
+    OpClass.JUMP: True,
+    OpClass.NOP: True,
+}
+
+
+def opclass_of(opcode: Opcode) -> OpClass:
+    """Return the functional-unit class of ``opcode``."""
+    return OPCODE_CLASS[opcode]
+
+
+def latency_of(opcode: Opcode) -> int:
+    """Return the base execution latency of ``opcode`` in cycles."""
+    return FU_LATENCY[OPCODE_CLASS[opcode]]

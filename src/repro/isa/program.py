@@ -1,0 +1,110 @@
+"""Program and basic-block containers.
+
+A ``Program`` is an ordered list of labelled ``BasicBlock``s.  Linking
+assigns a PC to every instruction (4 bytes apart, blocks laid out in order)
+and resolves branch target labels.  The containers validate structural
+invariants early so kernel bugs surface as ``ProgramError`` rather than as
+mysterious simulator behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, WORD_SIZE
+from repro.isa.opcodes import Opcode
+
+
+class ProgramError(Exception):
+    """Raised when a program violates a structural invariant."""
+
+
+class BasicBlock:
+    """A labelled straight-line instruction sequence.
+
+    Control flow may only leave through the final instruction (a branch,
+    jump, or halt) or by falling through to the next block in program order.
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.instructions: list[Instruction] = []
+
+    def append(self, inst: Instruction) -> None:
+        if self.instructions and self.instructions[-1].is_control:
+            if self.instructions[-1].opcode in (Opcode.JMP, Opcode.HALT):
+                raise ProgramError(
+                    f"block {self.label!r}: instruction after unconditional control flow"
+                )
+        self.instructions.append(inst)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+
+class Program:
+    """A linked program: blocks with assigned PCs and resolved targets."""
+
+    def __init__(self, blocks: list[BasicBlock], name: str = "program") -> None:
+        if not blocks:
+            raise ProgramError("program has no blocks")
+        self.name = name
+        self.blocks = blocks
+        self.label_pc: dict[str, int] = {}
+        self.instructions: list[Instruction] = []
+        self.by_pc: dict[int, Instruction] = {}
+        self._link()
+
+    def _link(self) -> None:
+        seen: set[str] = set()
+        pc = 0
+        for block in self.blocks:
+            if block.label in seen:
+                raise ProgramError(f"duplicate block label {block.label!r}")
+            seen.add(block.label)
+            if not block.instructions:
+                raise ProgramError(f"block {block.label!r} is empty")
+            self.label_pc[block.label] = pc
+            pc += WORD_SIZE * len(block.instructions)
+
+        pc = 0
+        for block in self.blocks:
+            for inst in block.instructions:
+                if inst.target is not None and inst.target not in self.label_pc:
+                    raise ProgramError(
+                        f"block {block.label!r}: unknown target label {inst.target!r}"
+                    )
+                placed = inst.with_pc(pc)
+                self.instructions.append(placed)
+                self.by_pc[pc] = placed
+                pc += WORD_SIZE
+
+        last = self.instructions[-1]
+        if last.opcode is not Opcode.HALT:
+            raise ProgramError("program must end with HALT")
+
+    @property
+    def entry_pc(self) -> int:
+        return 0
+
+    def target_pc(self, inst: Instruction) -> int:
+        """Resolve the branch/jump target PC of a control instruction."""
+        if inst.target is None:
+            raise ProgramError(f"instruction {inst} has no target")
+        return self.label_pc[inst.target]
+
+    def static_size(self) -> int:
+        return len(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"; program {self.name}"]
+        pc_to_label = {pc: label for label, pc in self.label_pc.items()}
+        for inst in self.instructions:
+            if inst.pc in pc_to_label:
+                lines.append(f"{pc_to_label[inst.pc]}:")
+            lines.append(f"  0x{inst.pc:04x}  {inst}")
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Architectural register model.
+
+The ISA exposes 32 integer registers (``r0``-``r31``, with ``r0`` hardwired
+to zero) and 32 floating-point registers (``f0``-``f31``).  Register names
+are plain strings throughout the code base; this module centralizes name
+validation and the architectural register file used by the functional
+executor.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+IREGS: tuple[str, ...] = tuple(f"r{i}" for i in range(NUM_INT_REGS))
+FREGS: tuple[str, ...] = tuple(f"f{i}" for i in range(NUM_FP_REGS))
+ALL_REGS: frozenset[str] = frozenset(IREGS) | frozenset(FREGS)
+
+ZERO_REG = "r0"
+
+
+def is_int_reg(name: str) -> bool:
+    """Return True if ``name`` names an integer architectural register."""
+    return name.startswith("r") and name in ALL_REGS
+
+
+def is_fp_reg(name: str) -> bool:
+    """Return True if ``name`` names a floating-point architectural register."""
+    return name.startswith("f") and name in ALL_REGS
+
+
+def validate_reg(name: str) -> str:
+    """Validate a register name, returning it unchanged.
+
+    Raises ``ValueError`` on unknown names so kernel-builder typos surface at
+    program-construction time rather than as silent mis-executions.
+    """
+    if name not in ALL_REGS:
+        raise ValueError(f"unknown register {name!r}")
+    return name
+
+
+class ArchRegisterFile:
+    """Architectural register state for functional execution.
+
+    Integer registers hold Python ints, floating-point registers hold Python
+    floats.  ``r0`` always reads as zero and silently discards writes, as in
+    MIPS/RISC-V.
+    """
+
+    __slots__ = ("_int", "_fp")
+
+    def __init__(self) -> None:
+        self._int: dict[str, int] = {name: 0 for name in IREGS}
+        self._fp: dict[str, float] = {name: 0.0 for name in FREGS}
+
+    def read(self, name: str):
+        """Read a register by name."""
+        if name in self._int:
+            return self._int[name]
+        if name in self._fp:
+            return self._fp[name]
+        raise ValueError(f"unknown register {name!r}")
+
+    def write(self, name: str, value) -> None:
+        """Write a register by name, coercing to the register class type."""
+        if name == ZERO_REG:
+            return
+        if name in self._int:
+            self._int[name] = int(value)
+        elif name in self._fp:
+            self._fp[name] = float(value)
+        else:
+            raise ValueError(f"unknown register {name!r}")
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Return a copy of all register values (useful in tests)."""
+        state: dict[str, float | int] = dict(self._int)
+        state.update(self._fp)
+        return state

@@ -1,0 +1,25 @@
+"""Host out-of-order pipeline substrate (the paper's GEM5 stand-in).
+
+A trace-driven cycle-level timing model of an 8-wide OOO superscalar with
+the paper's Table 4 configuration: branch prediction, store-set memory
+dependence speculation, a two-level cache hierarchy, ROB/RS/LSQ capacity
+constraints, and per-class functional-unit contention.
+"""
+
+from repro.ooo.config import CoreConfig
+from repro.ooo.branch_predictor import BranchPredictor
+from repro.ooo.storesets import StoreSetPredictor
+from repro.ooo.caches import Cache, CacheHierarchy
+from repro.ooo.pipeline import OOOPipeline, PipelineResult
+from repro.ooo.stats import PipelineStats
+
+__all__ = [
+    "BranchPredictor",
+    "Cache",
+    "CacheHierarchy",
+    "CoreConfig",
+    "OOOPipeline",
+    "PipelineResult",
+    "PipelineStats",
+    "StoreSetPredictor",
+]

@@ -1,0 +1,82 @@
+"""Set-associative cache hierarchy.
+
+Latency-oriented model: an access returns the load-to-use latency implied by
+the level it hits in, and updates LRU/allocation state.  Bandwidth and MSHR
+occupancy are not modeled (the paper's results do not hinge on them; the
+kernels' working sets determine hit rates, which this model captures).
+"""
+
+from __future__ import annotations
+
+
+class Cache:
+    """One set-associative, write-allocate, LRU cache level."""
+
+    def __init__(
+        self,
+        name: str,
+        size_kb: int,
+        assoc: int,
+        block_bytes: int,
+        latency: int,
+    ) -> None:
+        size_bytes = size_kb * 1024
+        num_blocks = size_bytes // block_bytes
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = max(1, num_blocks // assoc)
+        self.block_bytes = block_bytes
+        self.latency = latency
+        # Per-set list of tags in LRU order (index 0 = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        block = addr // self.block_bytes
+        return block % self.num_sets, block // self.num_sets
+
+    def lookup(self, addr: int) -> bool:
+        """Access the cache; returns True on hit.  Misses allocate."""
+        set_index, tag = self._locate(addr)
+        ways = self._sets[set_index]
+        if tag in ways:
+            self.hits += 1
+            ways.remove(tag)
+            ways.insert(0, tag)
+            return True
+        self.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.assoc:
+            ways.pop()
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating presence check."""
+        set_index, tag = self._locate(addr)
+        return tag in self._sets[set_index]
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class CacheHierarchy:
+    """L1 (I or D) backed by a shared L2 backed by main memory."""
+
+    def __init__(self, l1: Cache, l2: Cache, memory_latency: int) -> None:
+        self.l1 = l1
+        self.l2 = l2
+        self.memory_latency = memory_latency
+
+    def access(self, addr: int) -> int:
+        """Access ``addr``; return the total load-to-use latency."""
+        if self.l1.lookup(addr):
+            return self.l1.latency
+        if self.l2.lookup(addr):
+            return self.l1.latency + self.l2.latency
+        return self.l1.latency + self.l2.latency + self.memory_latency

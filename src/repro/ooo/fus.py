@@ -1,0 +1,89 @@
+"""Functional-unit pools and the opclass-to-pool mapping.
+
+Branches and jumps execute on the integer ALUs; multiply and divide share
+the single MUL/DIV unit per side; loads and stores share the two LDST units
+(paper Table 4).  The same pool structure describes the PEs of one fabric
+stripe, which "contains the same execution units as the OOO" — the
+one-to-one FU-to-PE mapping at the heart of Algorithm 1 depends on that.
+
+Occupancy is tracked per cycle (not as a single next-free scalar) so that
+an instruction reserving a unit at a *future* cycle — a store waiting for
+late data, say — does not block older slots that are actually free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.isa.opcodes import FU_PIPELINED, OpClass
+
+#: Which pool each operation class executes on.
+POOL_OF: dict[OpClass, str] = {
+    OpClass.INT_ALU: "int_alu",
+    OpClass.INT_MUL: "int_muldiv",
+    OpClass.INT_DIV: "int_muldiv",
+    OpClass.FP_ALU: "fp_alu",
+    OpClass.FP_MUL: "fp_muldiv",
+    OpClass.FP_DIV: "fp_muldiv",
+    OpClass.LOAD: "ldst",
+    OpClass.STORE: "ldst",
+    OpClass.BRANCH: "int_alu",
+    OpClass.JUMP: "int_alu",
+    OpClass.NOP: "int_alu",
+}
+
+POOL_NAMES: tuple[str, ...] = ("int_alu", "int_muldiv", "fp_alu", "fp_muldiv", "ldst")
+
+
+class FunctionalUnitPool:
+    """Per-cycle occupancy tracking for every pool."""
+
+    def __init__(self, pool_sizes: dict[str, int]) -> None:
+        for name in POOL_NAMES:
+            if pool_sizes.get(name, 0) < 1:
+                raise ValueError(f"pool {name!r} must have at least one unit")
+        self._sizes = {name: pool_sizes[name] for name in POOL_NAMES}
+        self._busy: dict[str, dict[int, int]] = {
+            name: defaultdict(int) for name in POOL_NAMES
+        }
+        self._max_claimed = 0
+
+    def _occupancy_span(self, opclass: OpClass, latency: int) -> int:
+        """Cycles one op holds a unit: 1 if pipelined, else its latency."""
+        return 1 if FU_PIPELINED[opclass] else max(1, latency)
+
+    def earliest_free(
+        self, opclass: OpClass, not_before: int, latency: int = 1
+    ) -> int:
+        """Earliest cycle >= ``not_before`` with a unit free for the op's
+        full occupancy span."""
+        pool = POOL_OF[opclass]
+        size = self._sizes[pool]
+        busy = self._busy[pool]
+        span = self._occupancy_span(opclass, latency)
+        cycle = not_before
+        while True:
+            if all(busy[cycle + k] < size for k in range(span)):
+                return cycle
+            cycle += 1
+
+    def acquire(self, opclass: OpClass, cycle: int, latency: int) -> None:
+        """Claim a unit starting at ``cycle`` for the op's occupancy span."""
+        pool = POOL_OF[opclass]
+        size = self._sizes[pool]
+        busy = self._busy[pool]
+        span = self._occupancy_span(opclass, latency)
+        for k in range(span):
+            if busy[cycle + k] >= size:
+                raise ValueError(
+                    f"pool {pool!r} has no free unit at cycle {cycle + k}"
+                )
+        for k in range(span):
+            busy[cycle + k] += 1
+        end = cycle + span
+        if end > self._max_claimed:
+            self._max_claimed = end
+
+    def all_idle_by(self) -> int:
+        """Cycle by which every claimed reservation has finished."""
+        return self._max_claimed

@@ -1,0 +1,77 @@
+"""Reservation-station capacity model and the issue-select priority encoder.
+
+``ReservationStationModel`` is the capacity constraint used by the fast
+timing pass.  ``PriorityEncoder`` is the select logic proper: it picks, for
+one functional unit, the highest-priority ready instruction, breaking ties
+with the host priority rule (oldest first).  DynaSpAM's resource-aware
+mapper reuses this exact encoder — the paper's point is that mapping rides
+on the host's existing select logic, with only the priority inputs changed
+(Algorithm 1, lines 10-12).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: The host priority rule: oldest instruction first (smallest seq).
+def oldest_first(item) -> int:
+    return item.seq
+
+
+class PriorityEncoder:
+    """Grant logic choosing among ready instructions for one unit."""
+
+    def __init__(self, host_priority_rule: Callable = oldest_first) -> None:
+        self.host_priority_rule = host_priority_rule
+
+    def select(
+        self,
+        candidates: Sequence[T],
+        score: Callable[[T], int] | None = None,
+    ) -> T | None:
+        """Pick the candidate with the highest score; ties go to the host
+        priority rule.  Candidates scoring below zero are infeasible and
+        never selected.  With no ``score``, this is the plain host select.
+        """
+        best: T | None = None
+        best_key: tuple[int, int] | None = None
+        for item in candidates:
+            item_score = score(item) if score is not None else 0
+            if item_score < 0:
+                continue
+            # Higher score wins; then lower host-priority key (older) wins.
+            key = (-item_score, self.host_priority_rule(item))
+            if best_key is None or key < best_key:
+                best = item
+                best_key = key
+        return best
+
+
+class ReservationStationModel:
+    """Window-capacity constraint for the fast timing pass.
+
+    Approximates "dispatch stalls when the RS is full" by requiring the
+    instruction ``entries`` places back to have issued — exact for FIFO
+    drain, slightly conservative for out-of-order drain.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("RS needs at least one entry")
+        self.entries = entries
+        self._issue_ring: list[int] = [0] * entries
+        self._head = 0
+        self._count = 0
+
+    def dispatch_ready_cycle(self) -> int:
+        if self._count < self.entries:
+            return 0
+        return self._issue_ring[self._head] + 1
+
+    def push(self, issue_cycle: int) -> None:
+        self._issue_ring[self._head] = issue_cycle
+        self._head = (self._head + 1) % self.entries
+        if self._count < self.entries:
+            self._count += 1

@@ -1,0 +1,27 @@
+"""Rodinia-like workload suite.
+
+Eleven kernel analogs of the Rodinia benchmarks the paper evaluates
+(Table 3), written against the reproduction ISA.  Each kernel module
+exposes ``build(scale)`` returning a linked ``Program`` and an initialized
+``Memory`` image; ``repro.workloads.suite`` registers them all and caches
+generated dynamic traces.
+"""
+
+from repro.workloads.suite import (
+    ALL_ABBREVS,
+    BENCHMARKS,
+    Benchmark,
+    generate_trace,
+    get_benchmark,
+)
+from repro.workloads.characterize import characterize, WorkloadProfile
+
+__all__ = [
+    "ALL_ABBREVS",
+    "BENCHMARKS",
+    "Benchmark",
+    "characterize",
+    "generate_trace",
+    "get_benchmark",
+    "WorkloadProfile",
+]

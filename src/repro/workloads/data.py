@@ -1,0 +1,124 @@
+"""Deterministic synthetic data sets for the kernel analogs.
+
+Every generator is seeded so traces are reproducible run to run; the paper's
+evaluation depends on stable trace identities (PC + branch outcomes), which
+in turn depend on stable input data.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.instructions import WORD_SIZE
+
+
+def rng(seed: int) -> random.Random:
+    """A deterministic random stream for a kernel (one per data set)."""
+    return random.Random(0x5EED ^ seed)
+
+
+def floats(n: int, lo: float, hi: float, seed: int) -> list[float]:
+    """``n`` uniform floats in ``[lo, hi)``."""
+    r = rng(seed)
+    return [lo + (hi - lo) * r.random() for _ in range(n)]
+
+def ints(n: int, lo: int, hi: int, seed: int) -> list[int]:
+    """``n`` uniform ints in ``[lo, hi]``."""
+    r = rng(seed)
+    return [r.randint(lo, hi) for _ in range(n)]
+
+
+def csr_graph(num_nodes: int, avg_degree: int, seed: int) -> tuple[list[int], list[int]]:
+    """Random directed graph in CSR form: (offsets[n+1], edges[m]).
+
+    Node 0 can reach most of the graph (edges are biased toward forward
+    progress plus random back edges), which gives BFS the mix of visited /
+    unvisited checks that makes its branches unbiased — the property the
+    paper's Table 5 highlights for BFS.
+    """
+    r = rng(seed)
+    adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+    for node in range(num_nodes - 1):
+        adjacency[node].append(node + 1)  # spine guarantees reachability
+    extra = max(0, avg_degree - 1)
+    for node in range(num_nodes):
+        for _ in range(extra):
+            adjacency[node].append(r.randrange(num_nodes))
+    offsets = [0]
+    edges: list[int] = []
+    for node in range(num_nodes):
+        edges.extend(adjacency[node])
+        offsets.append(len(edges))
+    return offsets, edges
+
+
+class BPlusTree:
+    """A static B+ tree laid out in flat arrays for the BT kernel.
+
+    Layout (``order`` keys per node):
+      ``keys[node * order + k]``      sorted keys, padded with +inf sentinel
+      ``children[node * (order + 1) + k]``  child node ids (internal nodes)
+      ``is_leaf[node]``               1 for leaves
+      ``values[node * order + k]``    payloads (leaves only)
+    """
+
+    def __init__(self, keys: list[int], order: int = 4) -> None:
+        self.order = order
+        sorted_keys = sorted(keys)
+        sentinel = 1 << 30
+        # Build leaves.
+        leaves = [sorted_keys[i:i + order] for i in range(0, len(sorted_keys), order)]
+        nodes: list[dict] = []
+        level = []
+        for leaf_keys in leaves:
+            node_id = len(nodes)
+            nodes.append({
+                "keys": leaf_keys + [sentinel] * (order - len(leaf_keys)),
+                "children": [0] * (order + 1),
+                "leaf": 1,
+                "values": [k * 2 + 1 for k in leaf_keys] + [0] * (order - len(leaf_keys)),
+            })
+            level.append((node_id, leaf_keys[0]))
+        # Build internal levels bottom-up.
+        while len(level) > 1:
+            next_level = []
+            for i in range(0, len(level), order + 1):
+                group = level[i:i + order + 1]
+                node_id = len(nodes)
+                separators = [first_key for _, first_key in group[1:]]
+                nodes.append({
+                    "keys": separators + [sentinel] * (order - len(separators)),
+                    "children": [cid for cid, _ in group] + [0] * (order + 1 - len(group)),
+                    "leaf": 0,
+                    "values": [0] * order,
+                })
+                next_level.append((node_id, group[0][1]))
+            level = next_level
+        self.root = level[0][0]
+        self.sentinel = sentinel
+        self.keys = [k for node in nodes for k in node["keys"]]
+        self.children = [c for node in nodes for c in node["children"]]
+        self.is_leaf = [node["leaf"] for node in nodes]
+        self.values = [v for node in nodes for v in node["values"]]
+        self.num_nodes = len(nodes)
+
+    def lookup(self, key: int) -> int:
+        """Reference search used to validate the kernel's results."""
+        node = self.root
+        order = self.order
+        while not self.is_leaf[node]:
+            base = node * order
+            child = 0
+            while child < order and self.keys[base + child] <= key:
+                child += 1
+            node = self.children[node * (order + 1) + child]
+        base = node * order
+        for k in range(order):
+            if self.keys[base + k] == key:
+                return self.values[base + k]
+        return 0
+
+
+def words(base: int, index: int) -> int:
+    """Byte address of word ``index`` in an array at ``base``."""
+    return base + index * WORD_SIZE

@@ -1,0 +1,1 @@
+"""Kernel analogs of the eleven Rodinia benchmarks (paper Table 3)."""

@@ -1,0 +1,137 @@
+"""BFS — Breadth-First Search (Rodinia ``BFSGraph``).
+
+Queue-based BFS over a random CSR graph, repeated from several source nodes.
+The visited-check branch is data dependent and unbiased, which is why BFS
+shows many short-lived configurations in the paper's Table 5 (6.4 invocations
+per configuration with one fabric).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+OFFSETS_BASE = 0x1_0000
+EDGES_BASE = 0x2_1000
+VISITED_BASE = 0x4_2000
+COST_BASE = 0x5_3000
+QUEUE_BASE = 0x6_4000
+SOURCES_BASE = 0x7_5000
+
+AVG_DEGREE = 4
+NUM_SOURCES = 3
+
+META = {
+    "abbrev": "BFS",
+    "name": "Breadth-First Search",
+    "domain": "Graph Algorithms",
+    "kernel": "BFSGraph",
+    "description": "Breadth-first search on a graph",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(16, int(220 * scale))
+
+
+def build(scale: float = 1.0) -> tuple:
+    num_nodes = problem_size(scale)
+    offsets, edges = data.csr_graph(num_nodes, AVG_DEGREE, seed=31)
+    sources = [0, num_nodes // 3, num_nodes // 2][:NUM_SOURCES]
+
+    mem = Memory()
+    mem.store_array(OFFSETS_BASE, offsets)
+    mem.store_array(EDGES_BASE, edges)
+    mem.store_array(SOURCES_BASE, sources)
+
+    b = ProgramBuilder("bfs")
+    b.li("r28", num_nodes)
+    b.li("r29", SOURCES_BASE)
+    with b.countdown("bfs_run", "r30", NUM_SOURCES):
+        # Reset visited[] and cost[] for this source.
+        b.li("r3", VISITED_BASE)
+        b.li("r4", COST_BASE)
+        with b.countdown("bfs_clear", "r2", num_nodes):
+            b.sw("r3", "r0", 0)
+            b.sw("r4", "r0", 0)
+            b.addi("r3", "r3", WORD_SIZE)
+            b.addi("r4", "r4", WORD_SIZE)
+        # Seed the queue with the source node.
+        b.lw("r5", "r29", 0)            # source id
+        b.li("r6", QUEUE_BASE)
+        b.sw("r6", "r5", 0)
+        b.li("r7", 1)
+        b.shl("r8", "r5", 2)
+        b.li("r9", VISITED_BASE)
+        b.add("r9", "r9", "r8")
+        b.sw("r9", "r7", 0)             # visited[source] = 1
+        b.li("r1", 0)                   # queue head
+        b.li("r2", 1)                   # queue tail
+        b.label("bfs_node")
+        b.li("r3", QUEUE_BASE)
+        b.shl("r4", "r1", 2)
+        b.add("r3", "r3", "r4")
+        b.lw("r5", "r3", 0)             # node = queue[head]
+        b.shl("r7", "r5", 2)
+        b.li("r6", OFFSETS_BASE)
+        b.add("r6", "r6", "r7")
+        b.lw("r8", "r6", 0)             # edge range start
+        b.lw("r9", "r6", WORD_SIZE)     # edge range end
+        b.li("r10", COST_BASE)
+        b.add("r11", "r10", "r7")
+        b.lw("r12", "r11", 0)           # cost[node]
+        b.addi("r12", "r12", 1)         # neighbor cost
+        b.bge("r8", "r9", "bfs_next_node")
+        b.label("bfs_edge")
+        b.li("r13", EDGES_BASE)
+        b.shl("r14", "r8", 2)
+        b.add("r13", "r13", "r14")
+        b.lw("r15", "r13", 0)           # neighbor id
+        b.shl("r17", "r15", 2)
+        b.li("r16", VISITED_BASE)
+        b.add("r18", "r16", "r17")
+        b.lw("r19", "r18", 0)
+        b.bne("r19", "r0", "bfs_skip")  # already visited? (unbiased)
+        b.li("r20", 1)
+        b.sw("r18", "r20", 0)           # visited[neighbor] = 1
+        b.li("r21", COST_BASE)
+        b.add("r22", "r21", "r17")
+        b.sw("r22", "r12", 0)           # cost[neighbor] = cost[node] + 1
+        b.li("r23", QUEUE_BASE)
+        b.shl("r24", "r2", 2)
+        b.add("r23", "r23", "r24")
+        b.sw("r23", "r15", 0)           # queue[tail] = neighbor
+        b.addi("r2", "r2", 1)
+        b.label("bfs_skip")
+        b.addi("r8", "r8", 1)
+        b.blt("r8", "r9", "bfs_edge")
+        b.label("bfs_next_node")
+        b.addi("r1", "r1", 1)
+        b.blt("r1", "r2", "bfs_node")
+        b.addi("r29", "r29", WORD_SIZE)  # next source
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[int]:
+    """BFS costs from the *last* source, computed in Python."""
+    num_nodes = problem_size(scale)
+    offsets, edges = data.csr_graph(num_nodes, AVG_DEGREE, seed=31)
+    source = [0, num_nodes // 3, num_nodes // 2][NUM_SOURCES - 1]
+    cost = [0] * num_nodes
+    visited = [False] * num_nodes
+    visited[source] = True
+    queue = [source]
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        for e in range(offsets[node], offsets[node + 1]):
+            nb = edges[e]
+            if not visited[nb]:
+                visited[nb] = True
+                cost[nb] = cost[node] + 1
+                queue.append(nb)
+    return cost

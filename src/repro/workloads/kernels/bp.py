@@ -1,0 +1,192 @@
+"""BP — Back Propagation (Rodinia ``bpnn_train_kernel``).
+
+Trains one hidden layer of a small feed-forward network: forward pass with a
+fast-sigmoid activation (x / (1 + |x|)), output error, and a gradient update
+of both weight matrices.  Dense dot-product loops — the quintessential
+long-lived fabric configuration (Table 5 shows BP at 6505 invocations per
+configuration).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+INPUT_BASE = 0x1_0000
+W1_BASE = 0x2_1000      # input -> hidden weights (hidden-major rows)
+HIDDEN_BASE = 0x3_2000
+W2_BASE = 0x4_3000      # hidden -> output weights (output-major rows)
+OUTPUT_BASE = 0x5_4000
+TARGET_BASE = 0x6_5000
+DELTA_BASE = 0x7_6000   # output-layer error terms
+
+NUM_INPUT = 48    # long inner loops (as in Rodinia's layer sizes) keep the
+NUM_HIDDEN = 12   # dot-product trace dominant; trips divisible by 3 keep
+NUM_OUTPUT = 6    # anchors aligned to iteration boundaries
+ETA = 0.05
+
+META = {
+    "abbrev": "BP",
+    "name": "Back Propagation",
+    "domain": "Pattern Recognition",
+    "kernel": "bpnn_train_kernel",
+    "description": "Machine learning algorithm to train the weights of nodes of a layered neural network",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(1, round(8 * scale))  # training epochs
+
+
+def _dataset():
+    inputs = data.floats(NUM_INPUT, -1.0, 1.0, seed=111)
+    w1 = data.floats(NUM_HIDDEN * NUM_INPUT, -0.5, 0.5, seed=112)
+    w2 = data.floats(NUM_OUTPUT * NUM_HIDDEN, -0.5, 0.5, seed=113)
+    targets = data.floats(NUM_OUTPUT, 0.0, 1.0, seed=114)
+    return inputs, w1, w2, targets
+
+
+def build(scale: float = 1.0) -> tuple:
+    epochs = problem_size(scale)
+    inputs, w1, w2, targets = _dataset()
+
+    mem = Memory()
+    mem.store_array(INPUT_BASE, inputs)
+    mem.store_array(W1_BASE, w1)
+    mem.store_array(W2_BASE, w2)
+    mem.store_array(TARGET_BASE, targets)
+
+    b = ProgramBuilder("backprop")
+    b.li("r20", NUM_INPUT)
+    b.li("r21", NUM_HIDDEN)
+    b.li("r22", NUM_OUTPUT)
+    b.fli("f14", 1.0)
+    b.fli("f15", ETA)
+    with b.countdown("bp_epoch", "r30", epochs):
+        # Forward: hidden[j] = fastsig(sum_i input[i] * w1[j][i]).
+        b.li("r10", W1_BASE)            # weight row cursor
+        b.li("r11", HIDDEN_BASE)
+        with b.for_up("bp_fh", "r1", "r21"):
+            b.fli("f1", 0.0)
+            b.li("r12", INPUT_BASE)
+            with b.for_up("bp_fhi", "r2", "r20"):
+                b.flw("f2", "r12", 0)
+                b.flw("f3", "r10", 0)
+                b.fmul("f4", "f2", "f3")
+                b.fadd("f1", "f1", "f4")
+                b.addi("r12", "r12", WORD_SIZE)
+                b.addi("r10", "r10", WORD_SIZE)
+            b.fabs("f5", "f1")
+            b.fadd("f5", "f5", "f14")
+            b.fdiv("f6", "f1", "f5")    # fast sigmoid
+            b.fsw("r11", "f6", 0)
+            b.addi("r11", "r11", WORD_SIZE)
+        # Forward: output[k] = fastsig(sum_j hidden[j] * w2[k][j]); delta.
+        b.li("r10", W2_BASE)
+        b.li("r11", OUTPUT_BASE)
+        b.li("r13", TARGET_BASE)
+        b.li("r14", DELTA_BASE)
+        with b.for_up("bp_fo", "r1", "r22"):
+            b.fli("f1", 0.0)
+            b.li("r12", HIDDEN_BASE)
+            with b.for_up("bp_foj", "r2", "r21"):
+                b.flw("f2", "r12", 0)
+                b.flw("f3", "r10", 0)
+                b.fmul("f4", "f2", "f3")
+                b.fadd("f1", "f1", "f4")
+                b.addi("r12", "r12", WORD_SIZE)
+                b.addi("r10", "r10", WORD_SIZE)
+            b.fabs("f5", "f1")
+            b.fadd("f5", "f5", "f14")
+            b.fdiv("f6", "f1", "f5")
+            b.fsw("r11", "f6", 0)
+            b.flw("f7", "r13", 0)       # target
+            b.fsub("f8", "f7", "f6")    # delta = target - output
+            b.fsw("r14", "f8", 0)
+            b.addi("r11", "r11", WORD_SIZE)
+            b.addi("r13", "r13", WORD_SIZE)
+            b.addi("r14", "r14", WORD_SIZE)
+        # Backward: w2[k][j] += eta * delta[k] * hidden[j].
+        b.li("r10", W2_BASE)
+        b.li("r14", DELTA_BASE)
+        with b.for_up("bp_bo", "r1", "r22"):
+            b.flw("f8", "r14", 0)
+            b.fmul("f9", "f8", "f15")   # eta * delta
+            b.li("r12", HIDDEN_BASE)
+            with b.for_up("bp_boj", "r2", "r21"):
+                b.flw("f2", "r12", 0)
+                b.flw("f3", "r10", 0)
+                b.fmul("f4", "f9", "f2")
+                b.fadd("f3", "f3", "f4")
+                b.fsw("r10", "f3", 0)
+                b.addi("r12", "r12", WORD_SIZE)
+                b.addi("r10", "r10", WORD_SIZE)
+            b.addi("r14", "r14", WORD_SIZE)
+        # Backward: w1[j][i] += eta * hidden_err[j] * input[i], with the
+        # hidden error approximated by the mean output delta (keeps the
+        # kernel's memory/compute shape without a full transpose pass).
+        b.fli("f10", 0.0)
+        b.li("r14", DELTA_BASE)
+        with b.for_up("bp_sum", "r1", "r22"):
+            b.flw("f8", "r14", 0)
+            b.fadd("f10", "f10", "f8")
+            b.addi("r14", "r14", WORD_SIZE)
+        b.cvtif("f11", "r22")
+        b.fdiv("f10", "f10", "f11")     # mean delta
+        b.fmul("f9", "f10", "f15")      # eta * mean delta
+        b.li("r10", W1_BASE)
+        with b.for_up("bp_bh", "r1", "r21"):
+            b.li("r12", INPUT_BASE)
+            with b.for_up("bp_bhi", "r2", "r20"):
+                b.flw("f2", "r12", 0)
+                b.flw("f3", "r10", 0)
+                b.fmul("f4", "f9", "f2")
+                b.fadd("f3", "f3", "f4")
+                b.fsw("r10", "f3", 0)
+                b.addi("r12", "r12", WORD_SIZE)
+                b.addi("r10", "r10", WORD_SIZE)
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[float]:
+    """Final output activations after training, computed in Python."""
+    epochs = problem_size(scale)
+    inputs, w1, w2, targets = _dataset()
+    w1 = list(w1)
+    w2 = list(w2)
+    hidden = [0.0] * NUM_HIDDEN
+    outputs = [0.0] * NUM_OUTPUT
+    for _ in range(epochs):
+        for j in range(NUM_HIDDEN):
+            acc = 0.0
+            for i in range(NUM_INPUT):
+                acc += inputs[i] * w1[j * NUM_INPUT + i]
+            hidden[j] = acc / (abs(acc) + 1.0)
+        deltas = [0.0] * NUM_OUTPUT
+        for k in range(NUM_OUTPUT):
+            acc = 0.0
+            for j in range(NUM_HIDDEN):
+                acc += hidden[j] * w2[k * NUM_HIDDEN + j]
+            outputs[k] = acc / (abs(acc) + 1.0)
+            deltas[k] = targets[k] - outputs[k]
+        for k in range(NUM_OUTPUT):
+            scale_k = deltas[k] * ETA
+            for j in range(NUM_HIDDEN):
+                w2[k * NUM_HIDDEN + j] += scale_k * hidden[j]
+        mean_delta = sum_in_order(deltas) / float(NUM_OUTPUT)
+        eta_delta = mean_delta * ETA
+        for j in range(NUM_HIDDEN):
+            for i in range(NUM_INPUT):
+                w1[j * NUM_INPUT + i] += eta_delta * inputs[i]
+    return outputs
+
+
+def sum_in_order(values: list[float]) -> float:
+    """Left-to-right float sum (matches the kernel's accumulation order)."""
+    acc = 0.0
+    for value in values:
+        acc += value
+    return acc

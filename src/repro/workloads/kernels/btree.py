@@ -1,0 +1,123 @@
+"""BT — B+ Tree search (Rodinia ``kernel_cpu``).
+
+Searches a batch of keys through a statically built order-4 B+ tree laid out
+in flat arrays.  Node descent and intra-node key scans give short
+data-dependent branch sequences, matching the handful of mapped traces the
+paper reports for BT.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+KEYS_BASE = 0x1_0000
+CHILD_BASE = 0x2_1000
+LEAF_BASE = 0x3_2000
+VALS_BASE = 0x4_3000
+QUERY_BASE = 0x5_4000
+RESULT_BASE = 0x6_5000
+
+# Wide nodes, like Rodinia's order-256 B+ tree: long linear scans per node
+# dominate the dynamic instruction stream.
+ORDER = 32
+NUM_TREE_KEYS = 1024
+
+META = {
+    "abbrev": "BT",
+    "name": "B+ Tree",
+    "domain": "Search",
+    "kernel": "kernel_cpu",
+    "description": "Search in a B+ tree",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(4, int(150 * scale))
+
+
+def _dataset(scale: float):
+    num_queries = problem_size(scale)
+    tree_keys = sorted(set(data.ints(NUM_TREE_KEYS * 3, 0, 100_000, seed=41)))[:NUM_TREE_KEYS]
+    tree = data.BPlusTree(tree_keys, order=ORDER)
+    hits = data.ints(num_queries, 0, len(tree_keys) - 1, seed=42)
+    # Half the queries hit existing keys, half probe random values.
+    probes = data.ints(num_queries, 0, 100_000, seed=43)
+    queries = [
+        tree_keys[hits[i]] if i % 2 == 0 else probes[i]
+        for i in range(num_queries)
+    ]
+    return tree, queries
+
+
+def build(scale: float = 1.0) -> tuple:
+    tree, queries = _dataset(scale)
+
+    mem = Memory()
+    mem.store_array(KEYS_BASE, tree.keys)
+    mem.store_array(CHILD_BASE, tree.children)
+    mem.store_array(LEAF_BASE, tree.is_leaf)
+    mem.store_array(VALS_BASE, tree.values)
+    mem.store_array(QUERY_BASE, queries)
+
+    b = ProgramBuilder("btree")
+    b.li("r26", QUERY_BASE)
+    b.li("r27", RESULT_BASE)
+    b.li("r25", ORDER)
+    with b.countdown("bt_query", "r30", len(queries)):
+        b.lw("r5", "r26", 0)            # key
+        b.li("r6", tree.root)           # current node
+        b.label("bt_descend")
+        # Branchless separator scan (a compiler predicates these short
+        # fixed-trip scans at -O3): child = #separators <= key.
+        b.muli("r10", "r6", ORDER)      # key base index
+        b.shl("r13", "r10", 2)
+        b.li("r14", KEYS_BASE)
+        b.add("r14", "r14", "r13")      # &keys[node][0]
+        b.li("r11", 0)                  # child slot accumulator
+        with b.countdown("bt_scan", "r23", ORDER):
+            b.lw("r15", "r14", 0)
+            b.sle("r16", "r15", "r5")   # separator <= key ?
+            b.add("r11", "r11", "r16")
+            b.addi("r14", "r14", WORD_SIZE)
+        b.muli("r16", "r6", ORDER + 1)
+        b.add("r16", "r16", "r11")
+        b.shl("r17", "r16", 2)
+        b.li("r18", CHILD_BASE)
+        b.add("r18", "r18", "r17")
+        b.lw("r6", "r18", 0)            # node = children[...]
+        # Leaf check: data dependent but shallow-periodic (depth ~2).
+        b.shl("r7", "r6", 2)
+        b.li("r8", LEAF_BASE)
+        b.add("r8", "r8", "r7")
+        b.lw("r9", "r8", 0)
+        b.beq("r9", "r0", "bt_descend")
+        # Branchless leaf scan: result = sum(match * value).
+        b.muli("r10", "r6", ORDER)
+        b.shl("r13", "r10", 2)
+        b.li("r14", KEYS_BASE)
+        b.add("r14", "r14", "r13")
+        b.li("r19", VALS_BASE)
+        b.add("r19", "r19", "r13")
+        b.li("r20", 0)                  # result value (0 = miss)
+        with b.countdown("bt_leafscan", "r23", ORDER):
+            b.lw("r15", "r14", 0)
+            b.seq("r16", "r15", "r5")   # exact match ?
+            b.lw("r21", "r19", 0)
+            b.mul("r22", "r16", "r21")
+            b.add("r20", "r20", "r22")
+            b.addi("r14", "r14", WORD_SIZE)
+            b.addi("r19", "r19", WORD_SIZE)
+        b.sw("r27", "r20", 0)
+        b.addi("r26", "r26", WORD_SIZE)
+        b.addi("r27", "r27", WORD_SIZE)
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[int]:
+    """Reference lookup results for every query."""
+    tree, queries = _dataset(scale)
+    return [tree.lookup(q) for q in queries]

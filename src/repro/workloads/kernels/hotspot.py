@@ -1,0 +1,113 @@
+"""HS — Hotspot thermal simulation (Rodinia ``compute_tran_temp``).
+
+Iterative five-point stencil over a temperature grid with a power input
+term, double buffered.  Regular FP-heavy inner loops with highly biased
+branches: the classic spatial-fabric-friendly kernel.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+TEMP_A_BASE = 0x1_0000
+TEMP_B_BASE = 0x2_1000
+POWER_BASE = 0x3_2000
+
+DIFFUSION = 0.12
+POWER_COEFF = 0.3
+NUM_STEPS = 5
+
+# Buffer holding the final temperatures (B after an odd number of steps).
+FINAL_BASE = TEMP_B_BASE if NUM_STEPS % 2 else TEMP_A_BASE
+
+META = {
+    "abbrev": "HS",
+    "name": "Hotspot",
+    "domain": "Physics Simulation",
+    "kernel": "compute_tran_temp",
+    "description": "Estimate processor temperature based on power simulation",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(6, int(26 * (scale ** 0.5)))
+
+
+def build(scale: float = 1.0) -> tuple:
+    n = problem_size(scale)
+    temps = data.floats(n * n, 40.0, 80.0, seed=51)
+    power = data.floats(n * n, 0.0, 2.0, seed=52)
+
+    mem = Memory()
+    mem.store_array(TEMP_A_BASE, temps)
+    mem.store_array(TEMP_B_BASE, temps)  # boundary cells never rewritten
+    mem.store_array(POWER_BASE, power)
+
+    row_bytes = n * WORD_SIZE
+    b = ProgramBuilder("hotspot")
+    b.li("r26", TEMP_A_BASE)            # src buffer
+    b.li("r27", TEMP_B_BASE)            # dst buffer
+    b.li("r24", n - 1)                  # interior bound
+    b.fli("f10", DIFFUSION)
+    b.fli("f11", POWER_COEFF)
+    with b.countdown("hs_step", "r30", NUM_STEPS):
+        b.li("r1", 1)                   # row index
+        b.label("hs_row")
+        # Pointers to row r, column 1 in src, dst, and power arrays.
+        b.muli("r3", "r1", row_bytes)
+        b.addi("r3", "r3", WORD_SIZE)
+        b.add("r4", "r26", "r3")        # src cell pointer
+        b.add("r5", "r27", "r3")        # dst cell pointer
+        b.li("r6", POWER_BASE)
+        b.add("r6", "r6", "r3")         # power cell pointer
+        b.li("r2", 1)                   # column index
+        b.label("hs_col")
+        b.flw("f1", "r4", 0)            # t
+        b.flw("f2", "r4", -row_bytes)   # north
+        b.flw("f3", "r4", row_bytes)    # south
+        b.flw("f4", "r4", -WORD_SIZE)   # west
+        b.flw("f5", "r4", WORD_SIZE)    # east
+        b.fadd("f6", "f2", "f3")
+        b.fadd("f6", "f6", "f4")
+        b.fadd("f6", "f6", "f5")
+        b.fadd("f7", "f1", "f1")
+        b.fadd("f7", "f7", "f7")        # 4*t
+        b.fsub("f6", "f6", "f7")        # laplacian
+        b.fmul("f6", "f6", "f10")
+        b.flw("f8", "r6", 0)
+        b.fmul("f8", "f8", "f11")
+        b.fadd("f9", "f1", "f6")
+        b.fadd("f9", "f9", "f8")
+        b.fsw("r5", "f9", 0)
+        b.addi("r4", "r4", WORD_SIZE)
+        b.addi("r5", "r5", WORD_SIZE)
+        b.addi("r6", "r6", WORD_SIZE)
+        b.addi("r2", "r2", 1)
+        b.blt("r2", "r24", "hs_col")
+        b.addi("r1", "r1", 1)
+        b.blt("r1", "r24", "hs_row")
+        # Swap src/dst buffers for the next step.
+        b.mov("r9", "r26")
+        b.mov("r26", "r27")
+        b.mov("r27", "r9")
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[float]:
+    """Final temperature grid (flattened) after NUM_STEPS, in Python."""
+    n = problem_size(scale)
+    src = data.floats(n * n, 40.0, 80.0, seed=51)
+    power = data.floats(n * n, 0.0, 2.0, seed=52)
+    dst = list(src)
+    for _ in range(NUM_STEPS):
+        for r in range(1, n - 1):
+            for c in range(1, n - 1):
+                i = r * n + c
+                lap = src[i - n] + src[i + n] + src[i - 1] + src[i + 1] - 4 * src[i]
+                dst[i] = src[i] + DIFFUSION * lap + POWER_COEFF * power[i]
+        src, dst = dst, src
+    return src

@@ -1,0 +1,99 @@
+"""KM — Kmeans clustering (Rodinia ``kmeans_clustering``).
+
+One assignment pass: each point is assigned to the nearest of K cluster
+centers by squared Euclidean distance.  The hot loop is the feature-distance
+accumulation — short, FP-multiply heavy, and highly biased branches, which is
+why KM maps to a single long-lived configuration in the paper's Table 5.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+POINTS_BASE = 0x1_0000
+CENTERS_BASE = 0x2_1000
+ASSIGN_BASE = 0x3_2000
+
+NUM_FEATURES = 24   # divisible by 3: trace anchors stay loop-aligned
+NUM_CLUSTERS = 4
+
+META = {
+    "abbrev": "KM",
+    "name": "Kmeans",
+    "domain": "Data Mining",
+    "kernel": "kmeans_clustering",
+    "description": "Clustering algorithm for data-mining",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(4, int(68 * scale))
+
+
+def build(scale: float = 1.0) -> tuple:
+    """Build the KM program and its memory image."""
+    num_points = problem_size(scale)
+    points = data.floats(num_points * NUM_FEATURES, -10.0, 10.0, seed=11)
+    centers = data.floats(NUM_CLUSTERS * NUM_FEATURES, -10.0, 10.0, seed=12)
+
+    mem = Memory()
+    mem.store_array(POINTS_BASE, points)
+    mem.store_array(CENTERS_BASE, centers)
+
+    b = ProgramBuilder("kmeans")
+    b.li("r10", POINTS_BASE)        # current point feature base
+    b.li("r13", ASSIGN_BASE)        # assignment output cursor
+    b.li("r22", NUM_FEATURES)
+    with b.countdown("km_point", "r1", num_points):
+        b.fli("f2", 1e18)           # best distance so far
+        b.li("r6", 0)               # best cluster
+        b.li("r2", 0)               # cluster index
+        b.li("r11", CENTERS_BASE)   # current center feature base
+        b.label("km_cluster")
+        b.fli("f1", 0.0)            # accumulated squared distance
+        b.mov("r4", "r10")
+        b.mov("r5", "r11")
+        with b.for_up("km_feature", "r3", "r22"):
+            b.flw("f3", "r4", 0)
+            b.flw("f4", "r5", 0)
+            b.fsub("f3", "f3", "f4")
+            b.fmul("f3", "f3", "f3")
+            b.fadd("f1", "f1", "f3")
+            b.addi("r4", "r4", WORD_SIZE)
+            b.addi("r5", "r5", WORD_SIZE)
+        b.fslt("r7", "f1", "f2")
+        b.beq("r7", "r0", "km_keep")
+        b.fmov("f2", "f1")
+        b.mov("r6", "r2")
+        b.label("km_keep")
+        b.addi("r11", "r11", NUM_FEATURES * WORD_SIZE)
+        b.addi("r2", "r2", 1)
+        b.slti("r8", "r2", NUM_CLUSTERS)
+        b.bne("r8", "r0", "km_cluster")
+        b.sw("r13", "r6", 0)
+        b.addi("r13", "r13", WORD_SIZE)
+        b.addi("r10", "r10", NUM_FEATURES * WORD_SIZE)
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[int]:
+    """Pure-Python reference assignment, for validating the kernel."""
+    num_points = problem_size(scale)
+    points = data.floats(num_points * NUM_FEATURES, -10.0, 10.0, seed=11)
+    centers = data.floats(NUM_CLUSTERS * NUM_FEATURES, -10.0, 10.0, seed=12)
+    out = []
+    for i in range(num_points):
+        best, best_dist = 0, float("inf")
+        for k in range(NUM_CLUSTERS):
+            dist = sum(
+                (points[i * NUM_FEATURES + f] - centers[k * NUM_FEATURES + f]) ** 2
+                for f in range(NUM_FEATURES)
+            )
+            if dist < best_dist:
+                best, best_dist = k, dist
+        out.append(best)
+    return out

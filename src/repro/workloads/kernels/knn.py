@@ -1,0 +1,92 @@
+"""KNN — K-Nearest Neighbors (Rodinia ``nn``, kernel ``main``).
+
+Computes the Euclidean distance from every record (latitude, longitude) to a
+query point, stores all distances, and tracks the running nearest record.
+The distance loop is tight FP work; the min-update branch is data dependent
+but becomes strongly biased as the running minimum settles.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+LAT_BASE = 0x1_0000
+LNG_BASE = 0x2_1000
+DIST_BASE = 0x3_2000
+RESULT_BASE = 0x4_3000
+
+QUERY_LAT = 30.0
+QUERY_LNG = -90.0
+
+META = {
+    "abbrev": "KNN",
+    "name": "K-Nearest Neighbors",
+    "domain": "Data Mining",
+    "kernel": "main",
+    "description": "Finding the k-nearest neighbors from an unstructured data set",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(8, int(3200 * scale))
+
+
+def build(scale: float = 1.0) -> tuple:
+    num_records = problem_size(scale)
+    lats = data.floats(num_records, 0.0, 60.0, seed=21)
+    lngs = data.floats(num_records, -180.0, 0.0, seed=22)
+
+    mem = Memory()
+    mem.store_array(LAT_BASE, lats)
+    mem.store_array(LNG_BASE, lngs)
+
+    b = ProgramBuilder("knn")
+    b.li("r10", LAT_BASE)
+    b.li("r11", LNG_BASE)
+    b.li("r12", DIST_BASE)
+    b.fli("f10", QUERY_LAT)
+    b.fli("f11", QUERY_LNG)
+    b.fli("f12", 1e18)          # best distance
+    b.li("r5", 0)               # best index
+    b.li("r6", 0)               # current index
+    with b.countdown("knn_rec", "r1", num_records):
+        b.flw("f1", "r10", 0)
+        b.flw("f2", "r11", 0)
+        b.fsub("f1", "f1", "f10")
+        b.fmul("f1", "f1", "f1")
+        b.fsub("f2", "f2", "f11")
+        b.fmul("f2", "f2", "f2")
+        b.fadd("f3", "f1", "f2")
+        b.fsw("r12", "f3", 0)
+        # Branchless argmin (a compiler would emit cmov here): keeps the
+        # hot loop at one branch per iteration, so trace anchors stay
+        # aligned to iteration boundaries.
+        b.fslt("r7", "f3", "f12")   # 1 if this record is closer
+        b.fmin("f12", "f12", "f3")
+        b.sub("r8", "r6", "r5")
+        b.mul("r9", "r7", "r8")
+        b.add("r5", "r5", "r9")     # r5 = r7 ? r6 : r5
+        b.addi("r10", "r10", WORD_SIZE)
+        b.addi("r11", "r11", WORD_SIZE)
+        b.addi("r12", "r12", WORD_SIZE)
+        b.addi("r6", "r6", 1)
+    b.li("r20", RESULT_BASE)
+    b.sw("r20", "r5", 0)
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> int:
+    """Index of the nearest record, computed in Python."""
+    num_records = problem_size(scale)
+    lats = data.floats(num_records, 0.0, 60.0, seed=21)
+    lngs = data.floats(num_records, -180.0, 0.0, seed=22)
+    best, best_dist = 0, float("inf")
+    for i in range(num_records):
+        dist = (lats[i] - QUERY_LAT) ** 2 + (lngs[i] - QUERY_LNG) ** 2
+        if dist < best_dist:
+            best, best_dist = i, dist
+    return best

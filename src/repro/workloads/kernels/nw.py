@@ -1,0 +1,100 @@
+"""NW — Needleman-Wunsch sequence alignment (Rodinia ``runTest``).
+
+Dynamic-programming fill of the alignment score matrix:
+``score[i][j] = max(diag + sim, up - penalty, left - penalty)``.
+Deliberately memory-heavy — the left neighbor is re-loaded from memory one
+iteration after it was stored, creating the short-distance store-to-load
+dependences that make NW regress *without* memory speculation in the
+paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+SCORE_BASE = 0x1_0000
+SIM_BASE = 0x8_1000
+
+PENALTY = 10
+
+META = {
+    "abbrev": "NW",
+    "name": "Needleman-Wunsch",
+    "domain": "Bioinformatics",
+    "kernel": "runTest",
+    "description": "Nonlinear global optimization method for DNA sequence alignments",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(4, int(64 * (scale ** 0.5)))
+
+
+def _similarity(n: int) -> list[int]:
+    return data.ints((n + 1) * (n + 1), -6, 6, seed=71)
+
+
+def build(scale: float = 1.0) -> tuple:
+    n = problem_size(scale)
+    dim = n + 1
+    mem = Memory()
+    mem.store_array(SIM_BASE, _similarity(n))
+    # First row/column of the score matrix: gap penalties.
+    mem.store_array(SCORE_BASE, [-PENALTY * j for j in range(dim)])
+    for i in range(1, dim):
+        mem.store(SCORE_BASE + i * dim * WORD_SIZE, -PENALTY * i)
+
+    row_bytes = dim * WORD_SIZE
+    b = ProgramBuilder("nw")
+    b.li("r28", dim)
+    b.li("r1", 1)                       # i
+    b.label("nw_row")
+    b.muli("r3", "r1", row_bytes)
+    b.li("r4", SCORE_BASE)
+    b.add("r4", "r4", "r3")
+    b.addi("r4", "r4", WORD_SIZE)       # &score[i][1]
+    b.li("r5", SIM_BASE)
+    b.add("r5", "r5", "r3")
+    b.addi("r5", "r5", WORD_SIZE)       # &sim[i][1]
+    b.li("r2", 1)                       # j
+    b.label("nw_col")
+    b.lw("r6", "r4", -row_bytes - WORD_SIZE)  # diag
+    b.lw("r7", "r4", -row_bytes)              # up
+    b.lw("r8", "r4", -WORD_SIZE)              # left (stored last iteration)
+    b.lw("r9", "r5", 0)                       # similarity score
+    b.add("r10", "r6", "r9")
+    b.subi("r11", "r7", PENALTY)
+    b.subi("r12", "r8", PENALTY)
+    b.max_("r13", "r10", "r11")
+    b.max_("r13", "r13", "r12")
+    b.sw("r4", "r13", 0)
+    b.addi("r4", "r4", WORD_SIZE)
+    b.addi("r5", "r5", WORD_SIZE)
+    b.addi("r2", "r2", 1)
+    b.blt("r2", "r28", "nw_col")
+    b.addi("r1", "r1", 1)
+    b.blt("r1", "r28", "nw_row")
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[int]:
+    """Full score matrix (flattened, dim x dim) computed in Python."""
+    n = problem_size(scale)
+    dim = n + 1
+    sim = _similarity(n)
+    score = [0] * (dim * dim)
+    for j in range(dim):
+        score[j] = -PENALTY * j
+    for i in range(1, dim):
+        score[i * dim] = -PENALTY * i
+    for i in range(1, dim):
+        for j in range(1, dim):
+            diag = score[(i - 1) * dim + (j - 1)] + sim[i * dim + j]
+            up = score[(i - 1) * dim + j] - PENALTY
+            left = score[i * dim + (j - 1)] - PENALTY
+            score[i * dim + j] = max(diag, up, left)
+    return score

@@ -1,0 +1,117 @@
+"""PTF — Particle Filter (Rodinia ``particleFilter``).
+
+Statistical estimator of a target location given noisy measurements: per
+frame, every particle is propagated with pre-generated noise, weighted by a
+Gaussian-like likelihood of the observation, and the weights are normalized;
+the frame estimate is the weighted mean.  FP-heavy per-particle loops with a
+few divides per frame, matching the two hot traces the paper maps for PTF.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+PART_X_BASE = 0x1_0000
+WEIGHT_BASE = 0x2_1000
+NOISE_BASE = 0x3_2000
+OBS_BASE = 0x4_3000
+EST_BASE = 0x5_4000
+
+NUM_FRAMES = 8
+
+META = {
+    "abbrev": "PTF",
+    "name": "Particle Filter",
+    "domain": "Medical Imaging",
+    "kernel": "particleFilter",
+    "description": "Statistical estimator of the location of a target object given noisy measurements",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(8, int(420 * scale))
+
+
+def _dataset(num_particles: int):
+    particles = data.floats(num_particles, -1.0, 1.0, seed=91)
+    noise = data.floats(num_particles * NUM_FRAMES, -0.2, 0.2, seed=92)
+    observations = [0.5 * frame + 0.3 for frame in range(NUM_FRAMES)]
+    return particles, noise, observations
+
+
+def build(scale: float = 1.0) -> tuple:
+    num_particles = problem_size(scale)
+    particles, noise, observations = _dataset(num_particles)
+
+    mem = Memory()
+    mem.store_array(PART_X_BASE, particles)
+    mem.store_array(NOISE_BASE, noise)
+    mem.store_array(OBS_BASE, observations)
+
+    b = ProgramBuilder("particlefilter")
+    b.li("r25", NOISE_BASE)             # noise cursor (advances across frames)
+    b.li("r26", OBS_BASE)
+    b.li("r27", EST_BASE)
+    b.li("r24", num_particles)
+    b.fli("f15", 1.0)
+    with b.countdown("ptf_frame", "r30", NUM_FRAMES):
+        b.flw("f10", "r26", 0)          # observation for this frame
+        # Propagate particles and compute unnormalized weights.
+        b.li("r10", PART_X_BASE)
+        b.li("r11", WEIGHT_BASE)
+        b.fli("f5", 0.0)                # weight sum
+        with b.countdown("ptf_move", "r1", num_particles):
+            b.flw("f1", "r10", 0)       # x
+            b.flw("f2", "r25", 0)       # noise sample
+            b.fadd("f1", "f1", "f2")
+            b.fsw("r10", "f1", 0)       # x += noise
+            b.fsub("f3", "f1", "f10")   # error vs observation
+            b.fmul("f3", "f3", "f3")
+            b.fadd("f4", "f3", "f15")
+            b.fdiv("f4", "f15", "f4")   # likelihood = 1 / (1 + err^2)
+            b.fsw("r11", "f4", 0)
+            b.fadd("f5", "f5", "f4")
+            b.addi("r10", "r10", WORD_SIZE)
+            b.addi("r11", "r11", WORD_SIZE)
+            b.addi("r25", "r25", WORD_SIZE)
+        # Normalize weights and accumulate the weighted-mean estimate.
+        b.li("r10", PART_X_BASE)
+        b.li("r11", WEIGHT_BASE)
+        b.fli("f6", 0.0)                # estimate accumulator
+        with b.countdown("ptf_norm", "r1", num_particles):
+            b.flw("f4", "r11", 0)
+            b.fdiv("f4", "f4", "f5")
+            b.fsw("r11", "f4", 0)
+            b.flw("f1", "r10", 0)
+            b.fmul("f7", "f1", "f4")
+            b.fadd("f6", "f6", "f7")
+            b.addi("r10", "r10", WORD_SIZE)
+            b.addi("r11", "r11", WORD_SIZE)
+        b.fsw("r27", "f6", 0)           # frame estimate
+        b.addi("r27", "r27", WORD_SIZE)
+        b.addi("r26", "r26", WORD_SIZE)
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[float]:
+    """Per-frame weighted-mean estimates computed in Python."""
+    num_particles = problem_size(scale)
+    particles, noise, observations = _dataset(num_particles)
+    xs = list(particles)
+    estimates = []
+    cursor = 0
+    for frame in range(NUM_FRAMES):
+        obs = observations[frame]
+        weights = []
+        for i in range(num_particles):
+            xs[i] += noise[cursor]
+            cursor += 1
+            err = xs[i] - obs
+            weights.append(1.0 / (1.0 + err * err))
+        total = sum(weights)
+        estimates.append(sum(x * (w / total) for x, w in zip(xs, weights)))
+    return estimates

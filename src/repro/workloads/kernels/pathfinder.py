@@ -1,0 +1,113 @@
+"""PF — PathFinder (Rodinia ``run``).
+
+Dynamic programming over a 2-D grid, row by row: each destination cell takes
+the minimum of its three upstream neighbors plus its own weight.  Integer
+min-chains with regular loops; boundary columns handled outside the hot loop
+so the inner-loop trace stays uniform.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+WALL_BASE = 0x1_0000
+SRC_BASE = 0x6_1000
+DST_BASE = 0x7_2000
+
+META = {
+    "abbrev": "PF",
+    "name": "PathFinder",
+    "domain": "Grid Traversal",
+    "kernel": "run",
+    "description": "Shortest path finder on a 2-D grid using dynamic programming",
+}
+
+
+def problem_size(scale: float) -> tuple[int, int]:
+    cols = max(8, int(110 * (scale ** 0.5)))
+    rows = max(3, int(42 * (scale ** 0.5)))
+    return rows, cols
+
+
+def final_base(scale: float = 1.0) -> int:
+    """Buffer holding the final DP row (depends on the swap parity)."""
+    rows, _ = problem_size(scale)
+    return DST_BASE if (rows - 1) % 2 else SRC_BASE
+
+
+def build(scale: float = 1.0) -> tuple:
+    rows, cols = problem_size(scale)
+    wall = data.ints(rows * cols, 0, 9, seed=81)
+
+    mem = Memory()
+    mem.store_array(WALL_BASE, wall)
+    mem.store_array(SRC_BASE, wall[:cols])  # row 0 seeds the DP
+
+    row_bytes = cols * WORD_SIZE
+    b = ProgramBuilder("pathfinder")
+    b.li("r26", SRC_BASE)
+    b.li("r27", DST_BASE)
+    b.li("r24", cols - 1)
+    b.li("r25", WALL_BASE + row_bytes)  # wall row pointer (row 1 onward)
+    with b.countdown("pf_row", "r30", rows - 1):
+        # Left boundary: dst[0] = wall[0] + min(src[0], src[1]).
+        b.lw("r1", "r26", 0)
+        b.lw("r2", "r26", WORD_SIZE)
+        b.min_("r1", "r1", "r2")
+        b.lw("r3", "r25", 0)
+        b.add("r3", "r3", "r1")
+        b.sw("r27", "r3", 0)
+        # Interior columns.
+        b.mov("r4", "r26")              # src pointer (col j-1 under cursor)
+        b.addi("r5", "r27", WORD_SIZE)  # dst pointer at col 1
+        b.addi("r6", "r25", WORD_SIZE)  # wall pointer at col 1
+        b.li("r2", 1)
+        b.label("pf_col")
+        b.lw("r7", "r4", 0)             # src[j-1]
+        b.lw("r8", "r4", WORD_SIZE)     # src[j]
+        b.lw("r9", "r4", 2 * WORD_SIZE) # src[j+1]
+        b.min_("r7", "r7", "r8")
+        b.min_("r7", "r7", "r9")
+        b.lw("r10", "r6", 0)
+        b.add("r10", "r10", "r7")
+        b.sw("r5", "r10", 0)
+        b.addi("r4", "r4", WORD_SIZE)
+        b.addi("r5", "r5", WORD_SIZE)
+        b.addi("r6", "r6", WORD_SIZE)
+        b.addi("r2", "r2", 1)
+        b.blt("r2", "r24", "pf_col")
+        # Right boundary: dst[C-1] = wall[C-1] + min(src[C-2], src[C-1]).
+        b.lw("r7", "r4", 0)
+        b.lw("r8", "r4", WORD_SIZE)
+        b.min_("r7", "r7", "r8")
+        b.lw("r10", "r6", 0)
+        b.add("r10", "r10", "r7")
+        b.sw("r5", "r10", 0)
+        # Advance wall row; swap src/dst.
+        b.addi("r25", "r25", row_bytes)
+        b.mov("r9", "r26")
+        b.mov("r26", "r27")
+        b.mov("r27", "r9")
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[int]:
+    """Final DP row computed in Python."""
+    rows, cols = problem_size(scale)
+    wall = data.ints(rows * cols, 0, 9, seed=81)
+    src = wall[:cols]
+    for r in range(1, rows):
+        dst = [0] * cols
+        for c in range(cols):
+            best = src[c]
+            if c > 0:
+                best = min(best, src[c - 1])
+            if c < cols - 1:
+                best = min(best, src[c + 1])
+            dst[c] = wall[r * cols + c] + best
+        src = dst
+    return src

@@ -1,0 +1,150 @@
+"""SRAD — Speckle Reducing Anisotropic Diffusion (Rodinia ``main``).
+
+PDE-based diffusion for ultrasound/radar images.  Each iteration computes a
+diffusion coefficient per interior cell from local gradients (with divides),
+then updates the image from the coefficient field.  FP-divide and
+memory heavy — the other kernel (with NW) that regresses without memory
+speculation in the paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads import data
+
+IMAGE_BASE = 0x1_0000
+COEFF_BASE = 0x2_1000
+
+LAMBDA = 0.25
+NUM_STEPS = 6
+
+META = {
+    "abbrev": "SRAD",
+    "name": "SRAD",
+    "domain": "Image Processing",
+    "kernel": "main",
+    "description": "Diffusion method for ultrasonic and radar imaging applications based on PDEs",
+}
+
+
+def problem_size(scale: float) -> int:
+    return max(6, int(20 * (scale ** 0.5)))
+
+
+def build(scale: float = 1.0) -> tuple:
+    n = problem_size(scale)
+    image = data.floats(n * n, 1.0, 10.0, seed=101)
+
+    mem = Memory()
+    mem.store_array(IMAGE_BASE, image)
+    mem.store_array(COEFF_BASE, [0.0] * (n * n))
+
+    row_bytes = n * WORD_SIZE
+    b = ProgramBuilder("srad")
+    b.li("r24", n - 1)
+    b.fli("f14", 1.0)
+    b.fli("f15", LAMBDA)
+    with b.countdown("sr_step", "r30", NUM_STEPS):
+        # Pass 1: diffusion coefficient per interior cell.
+        b.li("r1", 1)
+        b.label("sr_crow")
+        b.muli("r3", "r1", row_bytes)
+        b.addi("r3", "r3", WORD_SIZE)
+        b.li("r4", IMAGE_BASE)
+        b.add("r4", "r4", "r3")         # image cell pointer
+        b.li("r5", COEFF_BASE)
+        b.add("r5", "r5", "r3")         # coeff cell pointer
+        b.li("r2", 1)
+        b.label("sr_ccol")
+        b.flw("f1", "r4", 0)            # J (center)
+        b.flw("f2", "r4", -row_bytes)   # north
+        b.flw("f3", "r4", row_bytes)    # south
+        b.flw("f4", "r4", -WORD_SIZE)   # west
+        b.flw("f5", "r4", WORD_SIZE)    # east
+        b.fsub("f2", "f2", "f1")        # dN
+        b.fsub("f3", "f3", "f1")        # dS
+        b.fsub("f4", "f4", "f1")        # dW
+        b.fsub("f5", "f5", "f1")        # dE
+        b.fmul("f6", "f2", "f2")
+        b.fmul("f7", "f3", "f3")
+        b.fadd("f6", "f6", "f7")
+        b.fmul("f7", "f4", "f4")
+        b.fadd("f6", "f6", "f7")
+        b.fmul("f7", "f5", "f5")
+        b.fadd("f6", "f6", "f7")        # G2 numerator
+        b.fmul("f8", "f1", "f1")        # J^2
+        b.fdiv("f6", "f6", "f8")        # normalized gradient magnitude
+        b.fadd("f9", "f14", "f6")
+        b.fdiv("f9", "f14", "f9")       # c = 1 / (1 + G2/J^2)
+        b.fsw("r5", "f9", 0)
+        b.addi("r4", "r4", WORD_SIZE)
+        b.addi("r5", "r5", WORD_SIZE)
+        b.addi("r2", "r2", 1)
+        b.blt("r2", "r24", "sr_ccol")
+        b.addi("r1", "r1", 1)
+        b.blt("r1", "r24", "sr_crow")
+        # Pass 2: divergence update of the image using the coefficients.
+        b.li("r1", 1)
+        b.label("sr_urow")
+        b.muli("r3", "r1", row_bytes)
+        b.addi("r3", "r3", WORD_SIZE)
+        b.li("r4", IMAGE_BASE)
+        b.add("r4", "r4", "r3")
+        b.li("r5", COEFF_BASE)
+        b.add("r5", "r5", "r3")
+        b.li("r2", 1)
+        b.label("sr_ucol")
+        b.flw("f1", "r4", 0)
+        b.flw("f2", "r4", -row_bytes)
+        b.flw("f3", "r4", row_bytes)
+        b.flw("f4", "r4", -WORD_SIZE)
+        b.flw("f5", "r4", WORD_SIZE)
+        b.flw("f9", "r5", 0)            # c at this cell
+        b.fadd("f6", "f2", "f3")
+        b.fadd("f6", "f6", "f4")
+        b.fadd("f6", "f6", "f5")
+        b.fadd("f7", "f1", "f1")
+        b.fadd("f7", "f7", "f7")
+        b.fsub("f6", "f6", "f7")        # laplacian
+        b.fmul("f6", "f6", "f9")
+        b.fmul("f6", "f6", "f15")
+        b.fadd("f1", "f1", "f6")
+        b.fsw("r4", "f1", 0)
+        b.addi("r4", "r4", WORD_SIZE)
+        b.addi("r5", "r5", WORD_SIZE)
+        b.addi("r2", "r2", 1)
+        b.blt("r2", "r24", "sr_ucol")
+        b.addi("r1", "r1", 1)
+        b.blt("r1", "r24", "sr_urow")
+    b.halt()
+    return b.build(), mem
+
+
+def reference(scale: float = 1.0) -> list[float]:
+    """Final image after NUM_STEPS diffusion steps, in Python.
+
+    Pass 2 updates the image *in place* in row-major order (as the kernel
+    does), so the north/west neighbors it reads are already updated values.
+    """
+    n = problem_size(scale)
+    image = data.floats(n * n, 1.0, 10.0, seed=101)
+    coeff = [0.0] * (n * n)
+    for _ in range(NUM_STEPS):
+        for r in range(1, n - 1):
+            for c in range(1, n - 1):
+                i = r * n + c
+                center = image[i]
+                d_n = image[i - n] - center
+                d_s = image[i + n] - center
+                d_w = image[i - 1] - center
+                d_e = image[i + 1] - center
+                g2 = (d_n ** 2 + d_s ** 2 + d_w ** 2 + d_e ** 2) / (center * center)
+                coeff[i] = 1.0 / (1.0 + g2)
+        for r in range(1, n - 1):
+            for c in range(1, n - 1):
+                i = r * n + c
+                lap = image[i - n] + image[i + n] + image[i - 1] + image[i + 1] - 4 * image[i]
+                image[i] += lap * coeff[i] * LAMBDA  # matches the kernel's fmul order
+    return image

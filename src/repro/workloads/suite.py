@@ -1,0 +1,93 @@
+"""Benchmark registry and trace generation.
+
+``BENCHMARKS`` maps the paper's Table 3 abbreviations to ``Benchmark``
+records; ``generate_trace`` runs a kernel functionally and caches the
+resulting dynamic trace (trace generation dominates test runtime otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa.executor import ExecutionResult, FunctionalExecutor, Memory
+from repro.isa.program import Program
+from repro.workloads.kernels import (
+    bfs,
+    bp,
+    btree,
+    hotspot,
+    kmeans,
+    knn,
+    lud,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A registered kernel analog (one row of the paper's Table 3)."""
+
+    abbrev: str
+    name: str
+    domain: str
+    kernel: str
+    description: str
+    builder: Callable[[float], tuple[Program, Memory]]
+
+    def build(self, scale: float = 1.0) -> tuple[Program, Memory]:
+        return self.builder(scale)
+
+
+def _register(module) -> Benchmark:
+    meta = module.META
+    return Benchmark(
+        abbrev=meta["abbrev"],
+        name=meta["name"],
+        domain=meta["domain"],
+        kernel=meta["kernel"],
+        description=meta["description"],
+        builder=module.build,
+    )
+
+
+_MODULES = (bp, bfs, btree, hotspot, kmeans, lud, knn, nw, pathfinder,
+            particlefilter, srad)
+
+#: Table 3 order: BP, BFS, BT, HS, KM, LD, KNN, NW, PF, PTF, SRAD.
+BENCHMARKS: dict[str, Benchmark] = {
+    bench.abbrev: bench for bench in (_register(m) for m in _MODULES)
+}
+
+ALL_ABBREVS: tuple[str, ...] = tuple(BENCHMARKS)
+
+_TRACE_CACHE: dict[tuple[str, float], ExecutionResult] = {}
+
+
+def get_benchmark(abbrev: str) -> Benchmark:
+    """Look up a benchmark by its Table 3 abbreviation (e.g. ``"KM"``)."""
+    try:
+        return BENCHMARKS[abbrev]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {abbrev!r}; available: {', '.join(BENCHMARKS)}"
+        ) from None
+
+
+def generate_trace(abbrev: str, scale: float = 1.0) -> ExecutionResult:
+    """Functionally execute a benchmark and return its (cached) trace."""
+    key = (abbrev, scale)
+    if key not in _TRACE_CACHE:
+        program, memory = get_benchmark(abbrev).build(scale)
+        _TRACE_CACHE[key] = FunctionalExecutor(max_instructions=20_000_000).run(
+            program, memory
+        )
+    return _TRACE_CACHE[key]
+
+
+def clear_trace_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _TRACE_CACHE.clear()

@@ -1,0 +1,92 @@
+"""Cross-benchmark, cross-configuration integration matrix.
+
+Runs every benchmark at a small scale through every DynaSpAM mode and
+checks global invariants that must hold regardless of workload: dynamic
+instruction conservation, sane coverage, consistent trace accounting, and
+the relative ordering of the three Figure 8 series.
+"""
+
+import pytest
+
+from repro.core import DynaSpAM, DynaSpAMConfig
+from repro.ooo import OOOPipeline
+from repro.workloads import ALL_ABBREVS, generate_trace
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {abbrev: generate_trace(abbrev, SCALE) for abbrev in ALL_ABBREVS}
+
+
+@pytest.fixture(scope="module")
+def baselines(traces):
+    return {
+        abbrev: OOOPipeline().run_trace(run.trace)
+        for abbrev, run in traces.items()
+    }
+
+
+def run_mode(run, **kw):
+    machine = DynaSpAM(ds_config=DynaSpAMConfig(**kw))
+    return machine.run(run.trace, run.program)
+
+
+@pytest.mark.parametrize("abbrev", sorted(ALL_ABBREVS))
+def test_instruction_conservation_all_modes(traces, abbrev):
+    run = traces[abbrev]
+    for mode in ("baseline", "mapping_only", "accelerate"):
+        out = run_mode(run, mode=mode)
+        assert out.total_instructions == run.dynamic_count, mode
+        cov = out.coverage
+        assert abs(sum(cov.values()) - 1.0) < 1e-9
+
+
+@pytest.mark.parametrize("abbrev", sorted(ALL_ABBREVS))
+def test_trace_accounting_consistency(traces, abbrev):
+    out = run_mode(traces[abbrev], mode="accelerate")
+    assert out.offloaded_traces <= out.mapped_traces
+    assert out.stats.fabric_invocations >= out.offloaded_traces * 0
+    if out.offloaded_instructions:
+        assert out.stats.fabric_invocations > 0
+        assert out.lifetimes
+    assert out.mean_lifetime >= 0
+    assert out.reconfigurations >= 0
+
+
+@pytest.mark.parametrize("abbrev", sorted(ALL_ABBREVS))
+def test_mode_ordering(traces, baselines, abbrev):
+    """mapping_only never beats baseline by much; acceleration with
+    speculation is at least as fast as without."""
+    run = traces[abbrev]
+    base = baselines[abbrev].cycles
+    mapping = run_mode(run, mode="mapping_only").cycles
+    spec = run_mode(run, speculation=True).cycles
+    no_spec = run_mode(run, speculation=False).cycles
+    assert mapping >= base * 0.99          # mapping cannot speed things up
+    assert spec <= no_spec * 1.02          # speculation never loses
+
+
+@pytest.mark.parametrize("abbrev", sorted(ALL_ABBREVS))
+def test_acceleration_within_sane_band(traces, baselines, abbrev):
+    run = traces[abbrev]
+    out = run_mode(run)
+    speedup = baselines[abbrev].cycles / out.cycles
+    assert 0.7 < speedup < 12.0, speedup
+
+
+@pytest.mark.parametrize("fabrics", [1, 2, 4])
+def test_multi_fabric_lifetimes_never_shrink_much(traces, fabrics):
+    run = traces["BFS"]
+    single = run_mode(run, num_fabrics=1)
+    multi = run_mode(run, num_fabrics=fabrics)
+    assert multi.mean_lifetime >= single.mean_lifetime * 0.7
+
+
+def test_trace_length_sweep_coverage_valid(traces):
+    run = traces["SRAD"]
+    for length in (16, 24, 32, 40):
+        out = run_mode(run, trace_length=length)
+        assert out.total_instructions == run.dynamic_count
+        assert 0.0 <= out.coverage["fabric"] <= 1.0

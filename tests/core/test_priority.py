@@ -1,0 +1,103 @@
+"""Unit tests for PriorityGen (Algorithm 2 / Table 2 scores)."""
+
+from repro.core.priority import (
+    priority_gen,
+    PRIORITY_FULL_REUSE,
+    PRIORITY_INFEASIBLE,
+    PRIORITY_PART_REUSE,
+    PRIORITY_ROUTED,
+    PRIORITY_TWO_LIVEIN,
+)
+from repro.core.tables import MappingTables, livein_token, pos_token
+from repro.fabric.pe import PE
+
+
+def tables(**kw):
+    return MappingTables(num_stripes=8, channels_per_stripe=4, **kw)
+
+
+def pe_with_ports(ports, stripe=1):
+    return PE(stripe=stripe, index=0, pool="int_alu", input_ports=ports)
+
+
+def test_two_liveins_need_two_ports():
+    t = tables()
+    ops = [livein_token("r1"), livein_token("r2")]
+    wide = priority_gen(pe_with_ports(2, stripe=0), ops, t, frontier=0)
+    narrow = priority_gen(pe_with_ports(1), ops, t, frontier=1)
+    assert wide.score == PRIORITY_TWO_LIVEIN
+    assert narrow.score == PRIORITY_INFEASIBLE
+
+
+def test_full_reuse_scores_two():
+    t = tables()
+    t.define(pos_token(0), stripe=0)
+    t.define(pos_token(1), stripe=0)
+    ops = [pos_token(0), pos_token(1)]
+    plan = priority_gen(pe_with_ports(1, stripe=1), ops, t, frontier=1)
+    assert plan.score == PRIORITY_FULL_REUSE
+    assert [p.action for p in plan.operands] == ["reuse", "reuse"]
+
+
+def test_partial_reuse_scores_one():
+    t = tables()
+    t.define(pos_token(0), stripe=0)   # reusable at boundary 1
+    t.define(pos_token(1), stripe=0)
+    t.propagate(1, {pos_token(0)})     # only token 0 carried to boundary 2
+    ops = [pos_token(0), pos_token(1)]
+    plan = priority_gen(pe_with_ports(1, stripe=2), ops, t, frontier=2)
+    assert plan.score == PRIORITY_PART_REUSE
+    actions = sorted(p.action for p in plan.operands)
+    assert actions == ["reuse", "route"]
+
+
+def test_all_routed_scores_zero():
+    t = tables()
+    t.define(pos_token(0), stripe=0)
+    t.define(pos_token(1), stripe=0)
+    ops = [pos_token(0), pos_token(1)]
+    plan = priority_gen(pe_with_ports(1, stripe=3), ops, t, frontier=3)
+    assert plan.score == PRIORITY_ROUTED
+
+
+def test_unroutable_operand_is_infeasible():
+    t = MappingTables(num_stripes=8, channels_per_stripe=0)
+    t.define(pos_token(0), stripe=0)
+    ops = [pos_token(0)]
+    # Zero channels: value can reach boundary 1 (direct wires) but not 3.
+    plan = priority_gen(pe_with_ports(1, stripe=3), ops, t, frontier=3)
+    assert plan.score == PRIORITY_INFEASIBLE
+
+
+def test_single_livein_with_port_is_routable():
+    t = tables()
+    ops = [livein_token("r1")]
+    plan = priority_gen(pe_with_ports(1), ops, t, frontier=1)
+    assert plan.score == PRIORITY_ROUTED
+    assert plan.operands[0].action == "livein"
+
+
+def test_livein_plus_reuse_scores_part_reuse():
+    t = tables()
+    t.define(pos_token(0), stripe=0)
+    ops = [livein_token("r1"), pos_token(0)]
+    plan = priority_gen(pe_with_ports(1, stripe=1), ops, t, frontier=1)
+    assert plan.score == PRIORITY_PART_REUSE
+
+
+def test_livein_beyond_port_capacity_infeasible():
+    t = tables()
+    pe = PE(stripe=1, index=0, pool="int_alu", input_ports=0)
+    plan = priority_gen(pe, [livein_token("r1")], t, frontier=1)
+    assert plan.score == PRIORITY_INFEASIBLE
+
+
+def test_zero_operand_instruction_scores_routed():
+    t = tables()
+    plan = priority_gen(pe_with_ports(1), [], t, frontier=1)
+    assert plan.score == PRIORITY_ROUTED
+
+
+def test_priority_ordering_matches_table2():
+    assert (PRIORITY_TWO_LIVEIN > PRIORITY_FULL_REUSE > PRIORITY_PART_REUSE
+            > PRIORITY_ROUTED > PRIORITY_INFEASIBLE)

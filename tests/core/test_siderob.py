@@ -1,0 +1,54 @@
+"""Unit tests for the side reorder buffer (ROB')."""
+
+import pytest
+
+from repro.core.siderob import SideEntryState, SideROB
+
+
+def test_allocate_complete_commit_lifecycle():
+    rob = SideROB()
+    entry = rob.allocate(seq=5, trace_key=("k",))
+    assert entry.state is SideEntryState.PENDING
+    assert not entry.can_commit
+    rob.mark_complete(entry, cycle=100, live_outs={"r1": 99},
+                      branch_results=[True, False], stores=[(0x100, None)])
+    assert entry.can_commit
+    rob.commit(entry, cycle=105)
+    assert entry.state is SideEntryState.COMMITTED
+    assert entry.commit_cycle == 105
+    assert rob.committed == 1
+    assert rob.occupancy == 0
+
+
+def test_commit_requires_completion():
+    rob = SideROB()
+    entry = rob.allocate(1, ("k",))
+    with pytest.raises(RuntimeError):
+        rob.commit(entry, 10)
+
+
+def test_squash_removes_entry():
+    rob = SideROB()
+    entry = rob.allocate(1, ("k",))
+    rob.squash(entry, cycle=50)
+    assert entry.state is SideEntryState.SQUASHED
+    assert rob.squashed == 1
+    assert rob.occupancy == 0
+
+
+def test_capacity_enforced():
+    rob = SideROB(entries=2)
+    rob.allocate(1, ("a",))
+    rob.allocate(2, ("b",))
+    with pytest.raises(RuntimeError):
+        rob.allocate(3, ("c",))
+
+
+def test_entry_records_architectural_side_effects():
+    rob = SideROB()
+    entry = rob.allocate(7, ("k",))
+    rob.mark_complete(entry, 40, {"f4": 38, "r1": 39}, [True], [(0x20, None)])
+    assert entry.live_outs == {"f4": 38, "r1": 39}
+    assert entry.branch_results == [True]
+    assert entry.buffered_stores == [(0x20, None)]
+    assert entry.complete_cycle == 40

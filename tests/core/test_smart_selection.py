@@ -1,0 +1,79 @@
+"""Tests for smart (block-boundary-aware) trace selection."""
+
+from repro.core import DynaSpAM, DynaSpAMConfig
+from repro.core.tcache import TraceWindowBuilder
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import FunctionalExecutor, Memory
+
+
+def big_block_program(body_adds=40, iterations=8):
+    b = ProgramBuilder("bigblock")
+    with b.countdown("loop", "r1", iterations):
+        for i in range(body_adds):
+            # Four independent chains keep the dataflow shallow enough to
+            # map onto 16 stripes.
+            reg = f"r{2 + i % 4}"
+            b.addi(reg, reg, 1)
+    b.halt()
+    program = b.build()
+    result = FunctionalExecutor().run(program)
+    return program, result
+
+
+def test_distance_to_next_branch():
+    program, _ = big_block_program(body_adds=10)
+    builder = TraceWindowBuilder(max_length=32, program=program)
+    # From the loop head: 10 adds + countdown addi + bne = 12 instructions.
+    loop_pc = program.label_pc["loop"]
+    assert builder.distance_to_next_branch(loop_pc) == 12
+    # From just before the bne: 1 instruction.
+    bne_pc = program.instructions[-2].pc
+    assert builder.distance_to_next_branch(bne_pc) == 1
+
+
+def test_distance_beyond_cap_saturates():
+    program, _ = big_block_program(body_adds=50)
+    builder = TraceWindowBuilder(max_length=32, program=program)
+    loop_pc = program.label_pc["loop"]
+    assert builder.distance_to_next_branch(loop_pc) == 33  # cap + 1
+
+
+def test_smart_windows_end_at_branches():
+    program, result = big_block_program(body_adds=24, iterations=8)
+    builder = TraceWindowBuilder(max_length=32, program=program)
+    windows = [w for w in map(builder.feed, result.trace) if w]
+    # body = 26 instructions: one iteration fits, two do not; each window
+    # ends at the backedge branch and the next anchors at the loop head.
+    steady = windows[1:-1]
+    assert all(w.instructions[-1].is_branch for w in steady)
+    assert len({w.anchor_pc for w in steady}) == 1
+    assert all(len(w.outcomes) == 1 for w in steady)
+
+
+def test_smart_selection_increases_coverage_on_big_blocks():
+    program, result = big_block_program(body_adds=24, iterations=400)
+    plain = DynaSpAM(ds_config=DynaSpAMConfig()).run(result.trace, program)
+    smart = DynaSpAM(
+        ds_config=DynaSpAMConfig(smart_trace_selection=True)
+    ).run(result.trace, program)
+    assert smart.coverage["fabric"] > plain.coverage["fabric"] + 0.1
+    assert smart.total_instructions == plain.total_instructions
+
+
+def test_smart_selection_conserves_instructions_with_memory():
+    mem = Memory()
+    mem.store_array(0x100, [1.0] * 64)
+    b = ProgramBuilder("fp")
+    b.li("r1", 0x100)
+    with b.countdown("loop", "r2", 200):
+        for _ in range(6):
+            b.flw("f1", "r1", 0)
+            b.fadd("f2", "f2", "f1")
+        b.addi("r1", "r1", 4)
+    b.halt()
+    program = b.build()
+    result = FunctionalExecutor().run(program, mem)
+    out = DynaSpAM(
+        ds_config=DynaSpAMConfig(smart_trace_selection=True)
+    ).run(result.trace, program)
+    assert out.total_instructions == result.dynamic_count

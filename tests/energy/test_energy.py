@@ -1,0 +1,113 @@
+"""Tests for the energy model (Figure 9 machinery)."""
+
+import pytest
+
+from repro.energy import EnergyConstants, EnergyModel, FIGURE9_COMPONENTS
+from repro.ooo.stats import PipelineStats
+
+
+def stats_with(**kw):
+    s = PipelineStats()
+    for key, value in kw.items():
+        setattr(s, key, value)
+    return s
+
+
+def test_empty_stats_zero_energy():
+    assert EnergyModel().total(PipelineStats()) == 0.0
+
+
+def test_all_components_present():
+    breakdown = EnergyModel().breakdown(PipelineStats())
+    assert set(breakdown.components) == set(FIGURE9_COMPONENTS)
+
+
+def test_fetch_energy_scales_with_fetches():
+    m = EnergyModel()
+    one = m.breakdown(stats_with(fetches=1)).components["fetch"]
+    ten = m.breakdown(stats_with(fetches=10)).components["fetch"]
+    assert ten == pytest.approx(10 * one)
+
+
+def test_execution_energy_uses_class_specific_costs():
+    m = EnergyModel()
+    alu = m.breakdown(stats_with(int_alu_ops=1)).components["execution"]
+    fdiv = m.breakdown(stats_with(fp_div_ops=1)).components["execution"]
+    assert fdiv > alu
+
+
+def test_memory_hierarchy_costs_ordered():
+    c = EnergyConstants()
+    assert c.dcache_access < c.l2_access < c.dram_access
+
+
+def test_front_end_event_costs_dominate_alu():
+    """The premise of the paper: delivering an instruction costs more than
+    executing it."""
+    c = EnergyConstants()
+    per_instr_frontend = c.fetch_decode + c.rename + c.dispatch + c.select
+    assert per_instr_frontend > 3 * c.int_alu
+
+
+def test_fabric_events_cheaper_than_pipeline_events():
+    c = EnergyConstants()
+    assert c.fabric_pass_register < c.regfile_read + c.regfile_write
+    assert c.fabric_fifo < c.fetch_decode
+
+
+def test_reduction_vs_baseline():
+    m = EnergyModel()
+    base = m.breakdown(stats_with(fetches=100, renames=100))
+    accel = m.breakdown(stats_with(fetches=50, renames=50))
+    assert accel.reduction_vs(base) == pytest.approx(0.5)
+    assert base.reduction_vs(base) == pytest.approx(0.0)
+
+
+def test_reduction_vs_zero_baseline():
+    m = EnergyModel()
+    empty = m.breakdown(PipelineStats())
+    assert empty.reduction_vs(empty) == 0.0
+
+
+def test_normalized_components_sum_to_relative_total():
+    m = EnergyModel()
+    base = m.breakdown(stats_with(fetches=100, int_alu_ops=100))
+    accel = m.breakdown(stats_with(fetches=40, int_alu_ops=100,
+                                   fabric_int_alu_ops=60))
+    norm = accel.normalized_to(base)
+    assert sum(norm.values()) == pytest.approx(accel.total / base.total)
+
+
+def test_offload_moves_energy_from_frontend_to_fabric():
+    m = EnergyModel()
+    baseline = stats_with(
+        fetches=1000, renames=1000, dispatches=1000, selections=1000,
+        wakeups=2000, int_alu_ops=1000, regfile_reads=1500,
+        regfile_writes=900, bypass_transfers=500, rob_writes=1000,
+        commits=1000,
+    )
+    accelerated = stats_with(
+        fetches=200, renames=200, dispatches=200, selections=200,
+        wakeups=400, int_alu_ops=200, regfile_reads=300,
+        regfile_writes=200, bypass_transfers=100, rob_writes=250,
+        commits=250, fabric_int_alu_ops=800, fabric_datapath_transfers=1200,
+        fabric_fifo_ops=300, fabric_active_pe_cycles=2000,
+        fabric_configurations=3,
+    )
+    b = m.breakdown(baseline)
+    a = m.breakdown(accelerated)
+    assert a.components["fetch"] < b.components["fetch"]
+    assert a.components["inst_schedule"] < b.components["inst_schedule"]
+    assert a.components["fabric"] > 0
+    assert a.total < b.total
+    # Paper: fabric energy exceeds the baseline Execution slice but stays
+    # below Execution + Datapath + InstSchedule.
+    bound = (b.components["execution"] + b.components["datapath"]
+             + b.components["inst_schedule"])
+    assert b.components["execution"] < a.components["fabric"] < bound
+
+
+def test_custom_constants_injectable():
+    custom = EnergyConstants(fetch_decode=1000.0)
+    m = EnergyModel(custom)
+    assert m.breakdown(stats_with(fetches=1)).components["fetch"] == 1000.0

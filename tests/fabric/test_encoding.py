@@ -1,0 +1,120 @@
+"""Tests for the binary configuration encoding (config-cache image)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mapper import ResourceAwareMapper
+from repro.fabric.encoding import (
+    CONFIG_BLOCK_BYTES,
+    configuration_blocks,
+    decode,
+    encode,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import FunctionalExecutor, Memory
+
+
+def mapped_config(build, memory=None):
+    b = ProgramBuilder("t")
+    build(b)
+    b.halt()
+    trace = FunctionalExecutor().run(b.build(), memory).trace[:-1]
+    outcomes = tuple(bool(d.taken) for d in trace if d.is_branch)
+    key = (trace[0].pc, outcomes, len(trace))
+    config = ResourceAwareMapper().map_trace(trace, key)
+    assert config is not None
+    return config
+
+
+def loop_body(b):
+    mem_base = 0x100
+    b.li("r1", mem_base)
+    b.fli("f1", 2.0)
+    with b.countdown("loop", "r2", 4):
+        b.flw("f2", "r1", 0)
+        b.fmul("f3", "f2", "f1")
+        b.fadd("f4", "f4", "f3")
+        b.fsw("r1", "f3", 0x1000)
+        b.addi("r1", "r1", 4)
+
+
+def make_loop_memory():
+    mem = Memory()
+    mem.store_array(0x100, [1.0] * 8)
+    return mem
+
+
+def test_round_trip_preserves_structure():
+    config = mapped_config(loop_body, make_loop_memory())
+    rebuilt = decode(encode(config))
+    assert rebuilt.trace_key == config.trace_key
+    assert rebuilt.live_ins == config.live_ins
+    assert rebuilt.live_outs == config.live_outs
+    assert rebuilt.branch_outcomes == config.branch_outcomes
+    assert rebuilt.mem_op_pcs == config.mem_op_pcs
+    assert rebuilt.mem_op_kinds == config.mem_op_kinds
+    assert len(rebuilt.placements) == len(config.placements)
+    for a, b in zip(rebuilt.placements, config.placements):
+        assert (a.pos, a.opcode, a.stripe, a.pe_index, a.pool) == (
+            b.pos, b.opcode, b.stripe, b.pe_index, b.pool)
+        assert a.dest_reg == b.dest_reg
+        assert a.pc == b.pc
+        assert a.predicted_taken == b.predicted_taken
+        assert a.mem_index == b.mem_index
+        assert a.sources == b.sources
+        assert a.source_roles == b.source_roles
+
+
+def test_decoded_configuration_validates():
+    config = mapped_config(loop_body, make_loop_memory())
+    decode(encode(config)).validate()
+
+
+def test_block_accounting():
+    config = mapped_config(loop_body, make_loop_memory())
+    encoded = encode(config)
+    assert encoded.blocks == -(-encoded.size_bytes // CONFIG_BLOCK_BYTES)
+    assert configuration_blocks(config) == encoded.blocks
+    # A real 20-odd-op trace needs multiple 16-byte blocks.
+    assert encoded.blocks > 1
+
+
+def test_size_grows_with_trace_length():
+    small = mapped_config(loop_body, make_loop_memory())
+
+    def bigger(b):
+        loop_body(b)
+        for i in range(1, 9):
+            b.addi(f"r{i + 3}", f"r{i + 2}", 1)
+
+    big = mapped_config(bigger, make_loop_memory())
+    assert encode(big).size_bytes > encode(small).size_bytes
+
+
+REGS = [f"r{i}" for i in range(1, 8)]
+int_op = st.tuples(
+    st.sampled_from(["add", "sub", "xor", "min_"]),
+    st.sampled_from(REGS),
+    st.sampled_from(REGS),
+    st.sampled_from(REGS),
+)
+
+
+@given(ops=st.lists(int_op, min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_round_trip_property(ops):
+    def body(b):
+        for name, d, a, c in ops:
+            getattr(b, name)(d, a, c)
+
+    b = ProgramBuilder("prop")
+    body(b)
+    b.halt()
+    trace = FunctionalExecutor().run(b.build()).trace[:-1]
+    key = (trace[0].pc, (), len(trace))
+    config = ResourceAwareMapper().map_trace(trace, key)
+    if config is None:
+        return
+    rebuilt = decode(encode(config))
+    rebuilt.validate()
+    assert [(p.pos, p.opcode, p.stripe) for p in rebuilt.placements] == \
+           [(p.pos, p.opcode, p.stripe) for p in config.placements]

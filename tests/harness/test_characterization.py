@@ -1,0 +1,23 @@
+"""Tests for the workload characterization harness entry."""
+
+from repro.harness.characterization import characterization
+
+
+def test_characterization_covers_all_benchmarks():
+    result = characterization(scale=0.05)
+    assert len(result.profiles) == 11
+    text = result.render()
+    for abbrev in ("BP", "BFS", "SRAD"):
+        assert abbrev in text
+    assert "branches" in text
+
+
+def test_profiles_have_plausible_shapes():
+    result = characterization(scale=0.05)
+    bfs = result.profiles["BFS"]
+    hs = result.profiles["HS"]
+    # Integer graph traversal vs FP stencil.
+    assert bfs.pool_mix.get("fp_alu", 0.0) == 0.0
+    assert hs.pool_mix.get("fp_alu", 0.0) > 0.2
+    # Stencil code has long straight-line runs; BFS does not.
+    assert hs.mean_block_run > bfs.mean_block_run

@@ -1,0 +1,47 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.harness.reporting import format_bars, format_stacked, format_table
+
+
+def test_format_table_alignment_and_content():
+    text = format_table(
+        ["Name", "Value"],
+        [["alpha", 1.234], ["b", 10]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "Name" in lines[1] and "Value" in lines[1]
+    assert "-+-" in lines[2]
+    assert "1.23" in text
+    assert "10" in text
+
+
+def test_format_table_empty_rows():
+    text = format_table(["A", "B"], [])
+    assert "A" in text and "B" in text
+
+
+def test_format_bars_scales_to_peak():
+    text = format_bars({"one": 1.0, "two": 2.0}, width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_format_bars_unit_suffix():
+    text = format_bars({"x": 1.5}, unit="x")
+    assert "1.50x" in text
+
+
+def test_format_stacked_fractions():
+    rows = {"KM": {"host": 0.2, "mapping": 0.1, "fabric": 0.7}}
+    text = format_stacked(rows, width=10)
+    assert "host=20%" in text
+    assert "fabric=70%" in text
+    assert "#" in text and "." in text
+
+
+def test_format_stacked_handles_missing_parts():
+    text = format_stacked({"X": {"host": 1.0}})
+    assert "fabric=0%" in text

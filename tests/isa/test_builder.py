@@ -1,0 +1,88 @@
+"""Unit tests for the program-builder DSL."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Opcode, OpClass
+
+
+def test_entry_label_renamed_when_unused():
+    b = ProgramBuilder("p")
+    b.label("start")
+    b.halt()
+    p = b.build()
+    assert "start" in p.label_pc
+    assert "entry" not in p.label_pc
+
+
+def test_entry_label_kept_when_used():
+    b = ProgramBuilder("p")
+    b.li("r1", 0)
+    b.label("next")
+    b.halt()
+    p = b.build()
+    assert set(p.label_pc) == {"entry", "next"}
+
+
+def test_register_validation_is_eager():
+    b = ProgramBuilder("p")
+    with pytest.raises(ValueError):
+        b.add("r1", "r2", "r33")
+    with pytest.raises(ValueError):
+        b.lw("bogus", "r1")
+
+
+def test_immediate_forms_have_single_source():
+    b = ProgramBuilder("p")
+    b.addi("r1", "r2", 5)
+    b.halt()
+    inst = b.build().instructions[0]
+    assert inst.opcode is Opcode.ADD
+    assert inst.srcs == ("r2",)
+    assert inst.imm == 5
+
+
+def test_store_encodes_base_and_value():
+    b = ProgramBuilder("p")
+    b.sw("r1", "r2", 8)
+    b.halt()
+    inst = b.build().instructions[0]
+    assert inst.opcode is Opcode.SW
+    assert inst.dest is None
+    assert inst.srcs == ("r1", "r2")
+    assert inst.imm == 8
+
+
+def test_branch_encodes_target():
+    b = ProgramBuilder("p")
+    b.label("top")
+    b.bne("r1", "r0", "top")
+    b.halt()
+    inst = b.build().instructions[0]
+    assert inst.target == "top"
+    assert inst.is_branch
+
+
+def test_all_emitters_produce_their_opcode():
+    """Spot check a representative emitter per opcode class."""
+    b = ProgramBuilder("p")
+    b.mul("r1", "r2", "r3")
+    b.div("r1", "r2", "r3")
+    b.fadd("f1", "f2", "f3")
+    b.fdiv("f1", "f2", "f3")
+    b.flw("f1", "r1", 0)
+    b.fsw("r1", "f1", 0)
+    b.jmp("end")
+    b.label("end")
+    b.halt()
+    classes = [i.opclass for i in b.build().instructions]
+    assert classes == [
+        OpClass.INT_MUL,
+        OpClass.INT_DIV,
+        OpClass.FP_ALU,
+        OpClass.FP_DIV,
+        OpClass.LOAD,
+        OpClass.STORE,
+        OpClass.JUMP,
+        OpClass.JUMP,
+    ]

@@ -1,0 +1,100 @@
+"""Property-based tests for the functional executor.
+
+These exercise the executor with randomly generated straight-line programs
+and check structural invariants of the emitted dynamic traces.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import FunctionalExecutor, Memory
+from repro.isa.instructions import WORD_SIZE
+
+INT_OPS = ["add", "sub", "and_", "or_", "xor", "slt", "min_", "max_"]
+REGS = [f"r{i}" for i in range(1, 8)]
+
+op_strategy = st.tuples(
+    st.sampled_from(INT_OPS),
+    st.sampled_from(REGS),
+    st.sampled_from(REGS),
+    st.sampled_from(REGS),
+)
+
+
+def build_straightline(ops, init):
+    b = ProgramBuilder("prop")
+    for reg, value in zip(REGS, init):
+        b.li(reg, value)
+    for name, d, a, c in ops:
+        getattr(b, name)(d, a, c)
+    b.halt()
+    return b.build()
+
+
+@given(
+    ops=st.lists(op_strategy, min_size=1, max_size=30),
+    init=st.lists(st.integers(-100, 100), min_size=len(REGS), max_size=len(REGS)),
+)
+@settings(max_examples=60, deadline=None)
+def test_straightline_trace_matches_program(ops, init):
+    """A straight-line program's trace is exactly its instruction list."""
+    program = build_straightline(ops, init)
+    result = FunctionalExecutor().run(program)
+    assert len(result.trace) == len(program)
+    for dyn, static in zip(result.trace, program.instructions):
+        assert dyn.static is static
+        assert dyn.next_pc == dyn.pc + WORD_SIZE or dyn.opcode.value == "halt"
+
+
+@given(
+    ops=st.lists(op_strategy, min_size=1, max_size=30),
+    init=st.lists(st.integers(-100, 100), min_size=len(REGS), max_size=len(REGS)),
+)
+@settings(max_examples=60, deadline=None)
+def test_determinism(ops, init):
+    """Two runs of the same program produce identical register state."""
+    program = build_straightline(ops, init)
+    r1 = FunctionalExecutor().run(program).registers.snapshot()
+    r2 = FunctionalExecutor().run(program).registers.snapshot()
+    assert r1 == r2
+
+
+@given(
+    values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=16),
+    base=st.integers(0, 64).map(lambda w: w * WORD_SIZE),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_then_load_round_trips(values, base):
+    """Every stored word reads back through the ISA."""
+    b = ProgramBuilder("mem")
+    b.li("r1", base)
+    for i, value in enumerate(values):
+        b.li("r2", value)
+        b.sw("r1", "r2", i * WORD_SIZE)
+    for i in range(len(values)):
+        b.lw("r3", "r1", i * WORD_SIZE)
+        b.sw("r1", "r3", (len(values) + i) * WORD_SIZE)
+    b.halt()
+    mem = Memory()
+    FunctionalExecutor().run(b.build(), mem)
+    originals = mem.load_array(base, len(values))
+    copies = mem.load_array(base + len(values) * WORD_SIZE, len(values))
+    assert originals == list(values)
+    assert copies == list(values)
+
+
+@given(count=st.integers(1, 50))
+@settings(max_examples=30, deadline=None)
+def test_counted_loop_executes_exactly_n_iterations(count):
+    """Branch outcomes in the trace match loop trip counts."""
+    b = ProgramBuilder("loop")
+    b.li("r1", count)
+    b.label("loop")
+    b.addi("r1", "r1", -1)
+    b.bne("r1", "r0", "loop")
+    b.halt()
+    trace = FunctionalExecutor().run(b.build()).trace
+    branches = [d for d in trace if d.is_branch]
+    assert len(branches) == count
+    assert all(d.taken for d in branches[:-1])
+    assert branches[-1].taken is False

@@ -1,0 +1,57 @@
+"""Unit tests for opcode classification and latency tables."""
+
+from repro.isa.opcodes import (
+    FU_LATENCY,
+    FU_PIPELINED,
+    Opcode,
+    OpClass,
+    latency_of,
+    opclass_of,
+)
+
+
+def test_every_opcode_has_a_class():
+    for op in Opcode:
+        assert isinstance(opclass_of(op), OpClass)
+
+
+def test_every_class_has_latency_and_pipelining():
+    for cls in OpClass:
+        assert FU_LATENCY[cls] >= 1
+        assert isinstance(FU_PIPELINED[cls], bool)
+
+
+def test_memory_classification():
+    assert opclass_of(Opcode.LW) is OpClass.LOAD
+    assert opclass_of(Opcode.FLW) is OpClass.LOAD
+    assert opclass_of(Opcode.SW) is OpClass.STORE
+    assert opclass_of(Opcode.FSW) is OpClass.STORE
+    assert OpClass.LOAD.is_memory and OpClass.STORE.is_memory
+    assert not OpClass.INT_ALU.is_memory
+
+
+def test_control_classification():
+    for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        assert opclass_of(op) is OpClass.BRANCH
+    assert opclass_of(Opcode.JMP) is OpClass.JUMP
+    assert OpClass.BRANCH.is_control and OpClass.JUMP.is_control
+
+
+def test_int_fp_split():
+    assert opclass_of(Opcode.ADD) is OpClass.INT_ALU
+    assert opclass_of(Opcode.MUL) is OpClass.INT_MUL
+    assert opclass_of(Opcode.DIV) is OpClass.INT_DIV
+    assert opclass_of(Opcode.FADD) is OpClass.FP_ALU
+    assert opclass_of(Opcode.FMUL) is OpClass.FP_MUL
+    assert opclass_of(Opcode.FDIV) is OpClass.FP_DIV
+
+
+def test_long_latency_units_are_unpipelined():
+    assert not FU_PIPELINED[OpClass.INT_DIV]
+    assert not FU_PIPELINED[OpClass.FP_DIV]
+    assert FU_PIPELINED[OpClass.INT_ALU]
+
+
+def test_latency_ordering_matches_hardware_intuition():
+    assert latency_of(Opcode.ADD) < latency_of(Opcode.MUL) < latency_of(Opcode.DIV)
+    assert latency_of(Opcode.FADD) < latency_of(Opcode.FMUL) < latency_of(Opcode.FDIV)

@@ -1,0 +1,89 @@
+"""Unit tests for program containers, linking, and validation."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instruction, WORD_SIZE
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BasicBlock, Program, ProgramError
+
+
+def simple_program():
+    b = ProgramBuilder("p")
+    b.li("r1", 1)
+    b.label("body")
+    b.addi("r1", "r1", 1)
+    b.beq("r1", "r0", "body")
+    b.halt()
+    return b.build()
+
+
+def test_pcs_are_word_spaced_and_unique():
+    p = simple_program()
+    pcs = [inst.pc for inst in p.instructions]
+    assert pcs == list(range(0, WORD_SIZE * len(pcs), WORD_SIZE))
+    assert len(set(pcs)) == len(pcs)
+
+
+def test_label_pc_resolution():
+    p = simple_program()
+    assert p.label_pc["entry"] == 0
+    assert p.label_pc["body"] == WORD_SIZE
+    branch = p.instructions[2]
+    assert branch.opcode is Opcode.BEQ
+    assert p.target_pc(branch) == WORD_SIZE
+
+
+def test_by_pc_matches_instruction_list():
+    p = simple_program()
+    for inst in p.instructions:
+        assert p.by_pc[inst.pc] is inst
+
+
+def test_unknown_target_rejected():
+    b = ProgramBuilder("bad")
+    b.beq("r1", "r0", "nowhere")
+    b.halt()
+    with pytest.raises(ProgramError, match="unknown target"):
+        b.build()
+
+
+def test_duplicate_label_rejected():
+    blocks = [BasicBlock("a"), BasicBlock("a")]
+    for blk in blocks:
+        blk.append(Instruction(Opcode.NOP))
+    blocks[-1].append(Instruction(Opcode.HALT))
+    with pytest.raises(ProgramError, match="duplicate"):
+        Program(blocks)
+
+
+def test_empty_block_rejected():
+    blocks = [BasicBlock("a"), BasicBlock("b")]
+    blocks[0].append(Instruction(Opcode.HALT))
+    with pytest.raises(ProgramError, match="empty"):
+        Program(blocks)
+
+
+def test_missing_halt_rejected():
+    b = ProgramBuilder("nohalt")
+    b.li("r1", 1)
+    with pytest.raises(ProgramError, match="HALT"):
+        b.build()
+
+
+def test_instruction_after_jump_rejected():
+    blk = BasicBlock("a")
+    blk.append(Instruction(Opcode.JMP, target="a"))
+    with pytest.raises(ProgramError, match="after unconditional"):
+        blk.append(Instruction(Opcode.NOP))
+
+
+def test_target_pc_requires_target():
+    p = simple_program()
+    with pytest.raises(ProgramError):
+        p.target_pc(p.instructions[0])
+
+
+def test_static_size():
+    p = simple_program()
+    assert p.static_size() == len(p) == 4

@@ -1,0 +1,71 @@
+"""Unit tests for the architectural register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    ArchRegisterFile,
+    FREGS,
+    IREGS,
+    is_fp_reg,
+    is_int_reg,
+    validate_reg,
+)
+
+
+def test_register_name_sets():
+    assert len(IREGS) == 32
+    assert len(FREGS) == 32
+    assert "r0" in IREGS and "r31" in IREGS
+    assert "f0" in FREGS and "f31" in FREGS
+
+
+def test_name_classification():
+    assert is_int_reg("r7") and not is_fp_reg("r7")
+    assert is_fp_reg("f7") and not is_int_reg("f7")
+    assert not is_int_reg("r32")
+    assert not is_fp_reg("x1")
+
+
+def test_validate_reg_rejects_unknown():
+    assert validate_reg("r5") == "r5"
+    with pytest.raises(ValueError):
+        validate_reg("r99")
+    with pytest.raises(ValueError):
+        validate_reg("zero")
+
+
+def test_r0_hardwired_zero():
+    regs = ArchRegisterFile()
+    regs.write("r0", 42)
+    assert regs.read("r0") == 0
+
+
+def test_int_write_coerces_to_int():
+    regs = ArchRegisterFile()
+    regs.write("r1", 3.9)
+    assert regs.read("r1") == 3
+
+
+def test_fp_write_coerces_to_float():
+    regs = ArchRegisterFile()
+    regs.write("f1", 3)
+    assert regs.read("f1") == 3.0
+    assert isinstance(regs.read("f1"), float)
+
+
+def test_unknown_register_raises():
+    regs = ArchRegisterFile()
+    with pytest.raises(ValueError):
+        regs.read("q1")
+    with pytest.raises(ValueError):
+        regs.write("q1", 0)
+
+
+def test_snapshot_contains_all_registers():
+    regs = ArchRegisterFile()
+    regs.write("r3", 7)
+    regs.write("f3", 2.5)
+    snap = regs.snapshot()
+    assert snap["r3"] == 7
+    assert snap["f3"] == 2.5
+    assert len(snap) == 64

@@ -1,0 +1,65 @@
+"""Unit tests for the cache hierarchy."""
+
+from repro.ooo.caches import Cache, CacheHierarchy
+
+
+def make_l1():
+    return Cache("L1D", size_kb=1, assoc=2, block_bytes=64, latency=2)
+
+
+def test_compulsory_miss_then_hit():
+    c = make_l1()
+    assert c.lookup(0x0) is False
+    assert c.lookup(0x0) is True
+    assert c.lookup(0x3C) is True   # same 64B block
+    assert c.lookup(0x40) is False  # next block
+
+
+def test_lru_eviction_within_set():
+    c = make_l1()  # 1KB/64B = 16 blocks, 2-way -> 8 sets
+    set_stride = 8 * 64  # same set every 512 bytes
+    a, b, d = 0, set_stride, 2 * set_stride
+    c.lookup(a)
+    c.lookup(b)
+    c.lookup(a)        # a is now MRU
+    c.lookup(d)        # evicts b (LRU)
+    assert c.contains(a)
+    assert not c.contains(b)
+    assert c.contains(d)
+
+
+def test_miss_rate_accounting():
+    c = make_l1()
+    c.lookup(0x0)
+    c.lookup(0x0)
+    c.lookup(0x0)
+    assert c.accesses == 3
+    assert c.hits == 2
+    assert c.misses == 1
+    assert abs(c.miss_rate - 1 / 3) < 1e-12
+
+
+def test_hierarchy_latencies():
+    l1 = Cache("L1", 1, 2, 64, latency=2)
+    l2 = Cache("L2", 16, 8, 64, latency=20)
+    h = CacheHierarchy(l1, l2, memory_latency=120)
+    assert h.access(0x0) == 2 + 20 + 120   # cold: miss everywhere
+    assert h.access(0x0) == 2              # L1 hit
+    # Evict from tiny L1 but not from L2.
+    stride = l1.num_sets * 64
+    for i in range(1, 4):
+        h.access(i * stride)
+    assert h.access(0x0) == 2 + 20         # L1 miss, L2 hit
+
+
+def test_empty_cache_miss_rate_is_zero():
+    assert make_l1().miss_rate == 0.0
+
+
+def test_working_set_larger_than_cache_thrashes():
+    c = Cache("L1", size_kb=1, assoc=2, block_bytes=64, latency=2)
+    blocks = 64  # 4KB working set in a 1KB cache
+    for _ in range(3):
+        for i in range(blocks):
+            c.lookup(i * 64)
+    assert c.miss_rate > 0.9

@@ -1,0 +1,116 @@
+"""Property-based tests for the OOO pipeline timing model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import FunctionalExecutor, Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.ooo.config import CoreConfig
+from repro.ooo.pipeline import OOOPipeline
+
+REGS = [f"r{i}" for i in range(1, 8)]
+FREGS = [f"f{i}" for i in range(1, 8)]
+
+int_op = st.tuples(st.just("int"), st.sampled_from(["add", "sub", "xor"]),
+                   st.sampled_from(REGS), st.sampled_from(REGS),
+                   st.sampled_from(REGS))
+fp_op = st.tuples(st.just("fp"), st.sampled_from(["fadd", "fmul"]),
+                  st.sampled_from(FREGS), st.sampled_from(FREGS),
+                  st.sampled_from(FREGS))
+mem_op = st.tuples(st.just("mem"), st.sampled_from(["load", "store"]),
+                   st.integers(0, 15), st.sampled_from(REGS), st.just(""))
+mul_op = st.tuples(st.just("muldiv"), st.sampled_from(["mul", "div"]),
+                   st.sampled_from(REGS), st.sampled_from(REGS),
+                   st.sampled_from(REGS))
+
+any_op = st.one_of(int_op, fp_op, mem_op, mul_op)
+
+
+def build_program(ops, loop_count):
+    b = ProgramBuilder("prop")
+    b.li("r10", 0x1000)
+    with b.countdown("loop", "r9", loop_count):
+        for kind, name, a1, a2, a3 in ops:
+            if kind == "int":
+                getattr(b, name)(a1, a2, a3)
+            elif kind == "fp":
+                getattr(b, name)(a1, a2, a3)
+            elif kind == "muldiv":
+                getattr(b, name)(a1, a2, a3)
+            else:
+                if name == "load":
+                    b.lw(a2, "r10", a1 * WORD_SIZE)
+                else:
+                    b.sw("r10", a2, a1 * WORD_SIZE)
+    b.halt()
+    return b.build()
+
+
+def run_pipeline(ops, loop_count):
+    program = build_program(ops, loop_count)
+    mem = Memory()
+    mem.store_array(0x1000, [1] * 16)
+    trace = FunctionalExecutor().run(program, mem).trace
+    pipe = OOOPipeline()
+    timings = [pipe.process(dyn) for dyn in trace]
+    result = pipe.finish()
+    return trace, timings, result
+
+
+@given(ops=st.lists(any_op, min_size=1, max_size=12),
+       loop_count=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_per_instruction_stage_ordering(ops, loop_count):
+    """fetch <= dispatch < issue < complete < commit, for every instr."""
+    _, timings, _ = run_pipeline(ops, loop_count)
+    for t in timings:
+        assert t.fetch <= t.dispatch < t.issue < t.complete < t.commit
+
+
+@given(ops=st.lists(any_op, min_size=1, max_size=12),
+       loop_count=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_program_order_stages_monotonic(ops, loop_count):
+    """Fetch, dispatch, and commit are non-decreasing in program order."""
+    _, timings, _ = run_pipeline(ops, loop_count)
+    for a, b in zip(timings, timings[1:]):
+        assert b.fetch >= a.fetch
+        assert b.dispatch >= a.dispatch
+        assert b.commit >= a.commit
+
+
+@given(ops=st.lists(any_op, min_size=1, max_size=12),
+       loop_count=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_instruction_conservation_and_width_bounds(ops, loop_count):
+    trace, timings, result = run_pipeline(ops, loop_count)
+    assert result.instructions == len(trace)
+    assert result.stats.commits == len(trace)
+    cfg = CoreConfig()
+    assert result.ipc <= cfg.issue_width + 1e-9
+    # No more than commit_width commits share a cycle.
+    from collections import Counter
+    per_cycle = Counter(t.commit for t in timings)
+    assert max(per_cycle.values()) <= cfg.commit_width
+
+
+@given(ops=st.lists(any_op, min_size=1, max_size=12),
+       loop_count=st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_determinism(ops, loop_count):
+    _, _, first = run_pipeline(ops, loop_count)
+    _, _, second = run_pipeline(ops, loop_count)
+    assert first.cycles == second.cycles
+    assert first.stats.as_dict() == second.stats.as_dict()
+
+
+@given(ops=st.lists(any_op, min_size=1, max_size=10),
+       loop_count=st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_rob_window_bounded(ops, loop_count):
+    """No instruction dispatches while the ROB-capacity-ago instruction
+    has not committed."""
+    _, timings, _ = run_pipeline(ops, loop_count)
+    rob = CoreConfig().rob_entries
+    for i in range(rob, len(timings)):
+        assert timings[i].dispatch >= timings[i - rob].commit

@@ -1,0 +1,56 @@
+"""Tests for the top-level command line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for abbrev in ("KM", "BFS", "SRAD"):
+        assert abbrev in out
+
+
+def test_run_command_human_readable(capsys):
+    assert main(["run", "KM", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "coverage" in out
+    assert "energy" in out
+
+
+def test_run_command_json(capsys):
+    assert main(["run", "KM", "--scale", "0.05", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["benchmark"] == "KM"
+    assert report["speedup"] > 0
+    assert set(report["coverage"]) == {"host", "mapping", "fabric"}
+    assert 0 <= report["energy_reduction"] < 1
+
+
+def test_run_command_modes(capsys):
+    assert main(["run", "KM", "--scale", "0.05", "--mode", "baseline",
+                 "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["offloaded_traces"] == 0
+    assert report["speedup"] == pytest.approx(1.0)
+
+
+def test_run_command_no_speculation(capsys):
+    assert main(["run", "NW", "--scale", "0.05", "--no-speculation",
+                 "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["speculation"] is False
+
+
+def test_run_unknown_benchmark(capsys):
+    assert main(["run", "NOPE"]) == 2
+
+
+def test_harness_delegation(capsys):
+    assert main(["harness", "table6"]) == 0
+    out = capsys.readouterr().out
+    assert "2.9 mm^2" in out

@@ -1,0 +1,67 @@
+"""Smoke tests: every shipped example runs end to end.
+
+Each example's ``main()`` is imported and executed with small arguments so
+documentation code cannot rot silently.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_with_argv(name, argv, capsys):
+    module = load_example(name)
+    old_argv = sys.argv
+    sys.argv = [f"{name}.py"] + argv
+    try:
+        module.main()
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(capsys):
+    out = run_with_argv("quickstart", [], capsys)
+    assert "speedup" in out
+    assert "fabric" in out
+
+
+def test_accelerate_kmeans_example(capsys):
+    out = run_with_argv("accelerate_kmeans", ["0.1"], capsys)
+    assert "energy reduction" in out
+    assert "inst_schedule" in out
+
+
+def test_memory_speculation_example(capsys):
+    out = run_with_argv("memory_speculation", ["0.08"], capsys)
+    assert "w/  speculation" in out
+    assert "NW" in out
+
+
+def test_trace_explorer_example(capsys):
+    out = run_with_argv("trace_explorer", ["KM", "0.1"], capsys)
+    assert "hottest traces" in out
+    assert "stripe" in out
+
+
+def test_custom_fabric_example(capsys):
+    out = run_with_argv("custom_fabric", ["KM", "0.08"], capsys)
+    assert "speedup/mm^2" in out
+
+
+def test_tune_fabric_example(capsys):
+    out = run_with_argv("tune_fabric", ["BFS", "0.1"], capsys)
+    assert "tuned" in out
+    assert "int_alu" in out

@@ -1,0 +1,73 @@
+"""Unit tests for the synthetic data generators."""
+
+import pytest
+
+from repro.workloads import data
+
+
+def test_rng_deterministic_per_seed():
+    assert data.rng(5).random() == data.rng(5).random()
+    assert data.rng(5).random() != data.rng(6).random()
+
+
+def test_floats_range_and_determinism():
+    xs = data.floats(100, -2.0, 3.0, seed=1)
+    assert len(xs) == 100
+    assert all(-2.0 <= x < 3.0 for x in xs)
+    assert xs == data.floats(100, -2.0, 3.0, seed=1)
+
+
+def test_ints_range():
+    xs = data.ints(50, 3, 9, seed=2)
+    assert all(3 <= x <= 9 for x in xs)
+
+
+def test_csr_graph_well_formed():
+    offsets, edges = data.csr_graph(20, avg_degree=3, seed=3)
+    assert len(offsets) == 21
+    assert offsets[0] == 0
+    assert offsets[-1] == len(edges)
+    assert all(a <= b for a, b in zip(offsets, offsets[1:]))
+    assert all(0 <= e < 20 for e in edges)
+
+
+def test_csr_graph_spine_guarantees_reachability():
+    offsets, edges = data.csr_graph(30, avg_degree=2, seed=4)
+    visited = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for e in range(offsets[node], offsets[node + 1]):
+            nb = edges[e]
+            if nb not in visited:
+                visited.add(nb)
+                frontier.append(nb)
+    assert len(visited) == 30
+
+
+def test_bplus_tree_lookup_hits_and_misses():
+    keys = list(range(0, 200, 2))
+    tree = data.BPlusTree(keys, order=4)
+    for key in keys[:20]:
+        assert tree.lookup(key) == key * 2 + 1
+    for key in (1, 3, 999):
+        assert tree.lookup(key) == 0
+
+
+def test_bplus_tree_structure():
+    tree = data.BPlusTree(list(range(64)), order=4)
+    assert tree.num_nodes > 16              # leaves + internals
+    assert len(tree.keys) == tree.num_nodes * 4
+    assert len(tree.children) == tree.num_nodes * 5
+    assert tree.is_leaf[tree.root] == 0
+
+
+def test_bplus_tree_wide_order():
+    keys = sorted(set(data.ints(500, 0, 10_000, seed=9)))
+    tree = data.BPlusTree(keys, order=32)
+    for key in keys[::17]:
+        assert tree.lookup(key) == key * 2 + 1
+
+
+def test_words_helper():
+    assert data.words(0x100, 3) == 0x10C

@@ -1,0 +1,157 @@
+"""Validate every kernel analog against a pure-Python reference.
+
+These tests run the kernels at a reduced scale through the functional
+executor and compare computed results word-for-word with the reference
+implementations, so a mis-assembled kernel cannot silently skew the
+paper-reproduction numbers.
+"""
+
+import pytest
+
+from repro.isa.executor import FunctionalExecutor
+from repro.isa.instructions import WORD_SIZE
+from repro.workloads.kernels import (
+    bfs,
+    bp,
+    btree,
+    hotspot,
+    kmeans,
+    knn,
+    lud,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+)
+
+SCALE = 0.12
+
+
+def run(module, scale=SCALE):
+    program, memory = module.build(scale)
+    result = FunctionalExecutor(max_instructions=20_000_000).run(program, memory)
+    return result, memory
+
+
+def test_kmeans_assignments_match_reference():
+    result, memory = run(kmeans)
+    expected = kmeans.reference(SCALE)
+    actual = memory.load_array(kmeans.ASSIGN_BASE, len(expected))
+    assert actual == expected
+
+
+def test_knn_nearest_matches_reference():
+    result, memory = run(knn)
+    assert memory.load(knn.RESULT_BASE) == knn.reference(SCALE)
+
+
+def test_knn_distances_are_all_stored():
+    _, memory = run(knn)
+    n = knn.problem_size(SCALE)
+    distances = memory.load_array(knn.DIST_BASE, n)
+    assert all(d >= 0.0 for d in distances)
+    assert min(distances) > 0.0
+
+
+def test_bfs_costs_match_reference():
+    _, memory = run(bfs)
+    expected = bfs.reference(SCALE)
+    actual = memory.load_array(bfs.COST_BASE, len(expected))
+    assert actual == expected
+
+
+def test_bfs_visits_every_node():
+    _, memory = run(bfs)
+    n = bfs.problem_size(SCALE)
+    visited = memory.load_array(bfs.VISITED_BASE, n)
+    assert all(v == 1 for v in visited)
+
+
+def test_btree_lookups_match_reference():
+    _, memory = run(btree)
+    expected = btree.reference(SCALE)
+    actual = memory.load_array(btree.RESULT_BASE, len(expected))
+    assert actual == expected
+
+
+def test_btree_has_both_hits_and_misses():
+    expected = btree.reference(SCALE)
+    assert any(v != 0 for v in expected), "no query hit the tree"
+    assert any(v == 0 for v in expected), "every query hit the tree"
+
+
+def test_hotspot_matches_reference():
+    _, memory = run(hotspot)
+    n = hotspot.problem_size(SCALE)
+    expected = hotspot.reference(SCALE)
+    actual = memory.load_array(hotspot.FINAL_BASE, n * n)
+    assert actual == pytest.approx(expected, rel=1e-12)
+
+
+def test_lud_matches_reference():
+    _, memory = run(lud)
+    n = lud.problem_size(SCALE)
+    expected = lud.reference(SCALE)
+    actual = memory.load_array(lud.MATRIX_BASE, n * n)
+    assert actual == pytest.approx(expected, rel=1e-12)
+
+
+def test_nw_matches_reference():
+    _, memory = run(nw)
+    n = nw.problem_size(SCALE)
+    dim = n + 1
+    expected = nw.reference(SCALE)
+    actual = memory.load_array(nw.SCORE_BASE, dim * dim)
+    assert actual == expected
+
+
+def test_pathfinder_matches_reference():
+    _, memory = run(pathfinder)
+    _, cols = pathfinder.problem_size(SCALE)
+    expected = pathfinder.reference(SCALE)
+    actual = memory.load_array(pathfinder.final_base(SCALE), cols)
+    assert actual == expected
+
+
+def test_particlefilter_matches_reference():
+    _, memory = run(particlefilter)
+    expected = particlefilter.reference(SCALE)
+    actual = memory.load_array(particlefilter.EST_BASE, particlefilter.NUM_FRAMES)
+    assert actual == pytest.approx(expected, rel=1e-9)
+
+
+def test_particlefilter_estimates_track_observations():
+    expected = particlefilter.reference(SCALE)
+    # Observations ramp upward; the filtered estimate should ramp too.
+    assert expected[-1] > expected[0]
+
+
+def test_srad_matches_reference():
+    _, memory = run(srad)
+    n = srad.problem_size(SCALE)
+    expected = srad.reference(SCALE)
+    actual = memory.load_array(srad.IMAGE_BASE, n * n)
+    assert actual == pytest.approx(expected, rel=1e-12)
+
+
+def test_srad_preserves_positivity():
+    expected = srad.reference(SCALE)
+    assert all(v > 0 for v in expected)
+
+
+def test_bp_outputs_match_reference():
+    result, _ = run(bp)
+    expected = bp.reference(SCALE)
+    # Final outputs live in OUTPUT_BASE after the last epoch's forward pass.
+    _, memory = run(bp)
+    actual = memory.load_array(bp.OUTPUT_BASE, bp.NUM_OUTPUT)
+    assert actual == pytest.approx(expected, rel=1e-12)
+
+
+def test_bp_training_reduces_error():
+    inputs, w1, w2, targets = bp._dataset()
+    outputs_early = bp.reference(0.05)   # 1 epoch (min clamp)
+    outputs_late = bp.reference(1.0)     # full training run
+    err_early = sum((t - o) ** 2 for t, o in zip(targets, outputs_early))
+    err_late = sum((t - o) ** 2 for t, o in zip(targets, outputs_late))
+    assert err_late < err_early

@@ -1,0 +1,51 @@
+"""Scaling behaviour of every kernel's problem-size function."""
+
+import pytest
+
+from repro.workloads.kernels import (
+    bfs,
+    bp,
+    btree,
+    hotspot,
+    kmeans,
+    knn,
+    lud,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+)
+
+MODULES = [bp, bfs, btree, hotspot, kmeans, lud, knn, nw, pathfinder,
+           particlefilter, srad]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.META["abbrev"])
+def test_problem_size_monotonic_in_scale(module):
+    sizes = [module.problem_size(scale) for scale in (0.05, 0.25, 0.5, 1.0)]
+    flat = [s if isinstance(s, tuple) else (s,) for s in sizes]
+    for smaller, larger in zip(flat, flat[1:]):
+        assert all(a <= b for a, b in zip(smaller, larger))
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.META["abbrev"])
+def test_problem_size_minimum_clamp(module):
+    tiny = module.problem_size(1e-9)
+    values = tiny if isinstance(tiny, tuple) else (tiny,)
+    assert all(v >= 1 for v in values)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.META["abbrev"])
+def test_meta_is_complete(module):
+    meta = module.META
+    for key in ("abbrev", "name", "domain", "kernel", "description"):
+        assert meta.get(key), (meta["abbrev"], key)
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.META["abbrev"])
+def test_build_is_deterministic(module):
+    p1, m1 = module.build(0.05)
+    p2, m2 = module.build(0.05)
+    assert len(p1) == len(p2)
+    assert [i.opcode for i in p1.instructions] == \
+           [i.opcode for i in p2.instructions]

@@ -1,0 +1,61 @@
+"""Tests for the benchmark registry and trace generation."""
+
+import pytest
+
+from repro.workloads import ALL_ABBREVS, BENCHMARKS, generate_trace, get_benchmark
+from repro.workloads.suite import clear_trace_cache
+
+PAPER_TABLE3 = {
+    "BP": "Pattern Recognition",
+    "BFS": "Graph Algorithms",
+    "BT": "Search",
+    "HS": "Physics Simulation",
+    "KM": "Data Mining",
+    "LD": "Linear Algebra",
+    "KNN": "Data Mining",
+    "NW": "Bioinformatics",
+    "PF": "Grid Traversal",
+    "PTF": "Medical Imaging",
+    "SRAD": "Image Processing",
+}
+
+
+def test_all_eleven_benchmarks_registered():
+    assert set(ALL_ABBREVS) == set(PAPER_TABLE3)
+
+
+def test_domains_match_paper_table3():
+    for abbrev, domain in PAPER_TABLE3.items():
+        assert BENCHMARKS[abbrev].domain == domain
+
+
+def test_get_benchmark_unknown_raises():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        get_benchmark("XYZ")
+
+
+def test_trace_is_cached_per_scale():
+    clear_trace_cache()
+    first = generate_trace("KM", 0.05)
+    second = generate_trace("KM", 0.05)
+    assert first is second
+    third = generate_trace("KM", 0.06)
+    assert third is not first
+    clear_trace_cache()
+
+
+@pytest.mark.parametrize("abbrev", sorted(ALL_ABBREVS))
+def test_every_benchmark_produces_a_nontrivial_trace(abbrev):
+    result = generate_trace(abbrev, 0.05)
+    assert result.dynamic_count > 500
+    branches = sum(1 for d in result.trace if d.is_branch)
+    mems = sum(1 for d in result.trace if d.is_memory)
+    assert branches > 10, "kernel has no loops?"
+    assert mems > 10, "kernel never touches memory?"
+
+
+@pytest.mark.parametrize("abbrev", sorted(ALL_ABBREVS))
+def test_traces_scale_with_problem_size(abbrev):
+    small = generate_trace(abbrev, 0.05).dynamic_count
+    large = generate_trace(abbrev, 0.2).dynamic_count
+    assert large > small
