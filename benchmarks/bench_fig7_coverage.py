@@ -11,8 +11,8 @@ from benchmarks.conftest import run_once
 from repro.harness import figure7_coverage
 
 
-def test_fig7_coverage(benchmark, scale):
-    result = run_once(benchmark, lambda: figure7_coverage(scale))
+def test_fig7_coverage(benchmark, scale, jobs):
+    result = run_once(benchmark, lambda: figure7_coverage(scale, jobs=jobs))
     print()
     print(result.render())
 

@@ -11,8 +11,8 @@ from benchmarks.conftest import run_once
 from repro.harness import figure8_performance
 
 
-def test_fig8_performance(benchmark, scale):
-    result = run_once(benchmark, lambda: figure8_performance(scale))
+def test_fig8_performance(benchmark, scale, jobs):
+    result = run_once(benchmark, lambda: figure8_performance(scale, jobs=jobs))
     print()
     print(result.render())
 

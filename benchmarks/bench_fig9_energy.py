@@ -11,8 +11,8 @@ from benchmarks.conftest import run_once
 from repro.harness import figure9_energy
 
 
-def test_fig9_energy(benchmark, scale):
-    result = run_once(benchmark, lambda: figure9_energy(scale))
+def test_fig9_energy(benchmark, scale, jobs):
+    result = run_once(benchmark, lambda: figure9_energy(scale, jobs=jobs))
     print()
     print(result.render())
 

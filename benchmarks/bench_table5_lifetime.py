@@ -11,8 +11,8 @@ from benchmarks.conftest import run_once
 from repro.harness import table5_lifetime
 
 
-def test_table5_lifetime(benchmark, scale):
-    result = run_once(benchmark, lambda: table5_lifetime(scale))
+def test_table5_lifetime(benchmark, scale, jobs):
+    result = run_once(benchmark, lambda: table5_lifetime(scale, jobs=jobs))
     print()
     print(result.render())
 

@@ -5,6 +5,11 @@ harness runs (default 0.4: tens of thousands of dynamic instructions per
 kernel, enough for trace detection to reach steady state while keeping a
 full ``pytest benchmarks/ --benchmark-only`` run to a few minutes).  Set it
 to 1.0 to reproduce the numbers recorded in EXPERIMENTS.md.
+
+``REPRO_BENCH_JOBS`` fans each sweep's independent runs out over that many
+worker processes (unset/1 = the seed serial path).  Timing comparisons
+against EXPERIMENTS.md should also clear the on-disk cache first or export
+``REPRO_DISK_CACHE=0``, otherwise warm runs measure cache loads.
 """
 
 import os
@@ -16,9 +21,19 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
 
 
+def bench_jobs() -> int | None:
+    value = os.environ.get("REPRO_BENCH_JOBS", "")
+    return int(value) if value else None
+
+
 @pytest.fixture(scope="session")
 def scale() -> float:
     return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int | None:
+    return bench_jobs()
 
 
 def run_once(benchmark, fn):

@@ -6,11 +6,15 @@ Usage::
     python -m repro run KM [--scale 0.5] [--mode accelerate]
                            [--no-speculation] [--fabrics 2]
                            [--trace-length 32] [--json]
-    python -m repro harness fig8 [--scale 1.0]    # same as repro.harness
+    python -m repro bench [--scale 1.0] [--jobs 4] [--no-cache]
+                          [--output BENCH_speedup.json]
+    python -m repro harness fig8 [--scale 1.0] [--jobs 4]  # = repro.harness
 
 ``run`` simulates one benchmark on the baseline core and the DynaSpAM
 machine and reports speedup, coverage, trace statistics, and the energy
 ledger — as a human-readable summary or a JSON document for scripting.
+``bench`` times the full Figure 8 sweep and writes a machine-readable
+speedup/timing report so the performance trajectory is tracked PR over PR.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.core import DynaSpAM, DynaSpAMConfig
 from repro.energy import EnergyModel
@@ -93,6 +98,52 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Timed Figure 8 sweep -> machine-readable speedup/timing report."""
+    import repro.harness.diskcache as diskcache
+    from repro.harness import figure8_performance
+    from repro.harness.profiling import PROFILER
+
+    if args.no_cache:
+        diskcache.configure(enabled=False)
+    started = time.perf_counter()
+    result = figure8_performance(args.scale, jobs=args.jobs)
+    wall_clock = time.perf_counter() - started
+
+    cache_stats = diskcache.shared_stats()
+    report = {
+        "experiment": "fig8",
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "disk_cache_enabled": diskcache.is_enabled(),
+        "wall_clock_seconds": wall_clock,
+        "geomean": {
+            series: result.series_geomean(series)
+            for series in ("mapping", "no_spec", "spec")
+        },
+        "per_benchmark": result.speedups,
+        "cache": {
+            "disk": cache_stats,
+            "memory_hits": PROFILER.counters.get("run_cache_memory_hits", 0),
+            "predict_memo_hits": PROFILER.counters.get(
+                "predict_memo_hits", 0),
+            "predict_memo_misses": PROFILER.counters.get(
+                "predict_memo_misses", 0),
+        },
+        "profile": PROFILER.snapshot(),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"geomean speedup (spec) {report['geomean']['spec']:.2f}x | "
+          f"wall clock {wall_clock:.2f}s | report -> {args.output}")
+    if args.profile:
+        from repro.harness.__main__ import print_profile
+
+        print_profile()
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -109,19 +160,37 @@ def main(argv=None) -> int:
     run_parser.add_argument("--trace-length", type=int, default=32)
     run_parser.add_argument("--json", action="store_true")
 
+    from repro.harness.__main__ import add_cache_arguments
+
+    bench_parser = sub.add_parser(
+        "bench", help="timed Figure 8 sweep with a JSON report")
+    bench_parser.add_argument("--scale", type=float, default=1.0)
+    bench_parser.add_argument("--output", default="BENCH_speedup.json")
+    add_cache_arguments(bench_parser)
+
     harness_parser = sub.add_parser("harness",
                                     help="regenerate evaluation artifacts")
     harness_parser.add_argument("experiment")
     harness_parser.add_argument("--scale", type=float, default=1.0)
+    add_cache_arguments(harness_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     from repro.harness.__main__ import main as harness_main
 
-    return harness_main([args.experiment, "--scale", str(args.scale)])
+    forwarded = [args.experiment, "--scale", str(args.scale)]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.profile:
+        forwarded.append("--profile")
+    return harness_main(forwarded)
 
 
 if __name__ == "__main__":

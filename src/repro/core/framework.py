@@ -29,8 +29,8 @@ from repro.core.naive_mapper import NaiveMapper
 from repro.core.offload import OffloadEngine, TRACE_SQUASH_DETECT
 from repro.core.tcache import TCache, TraceWindowBuilder
 from repro.fabric.config import FabricConfig
-from repro.isa.instructions import DynamicInstruction, WORD_SIZE
-from repro.isa.opcodes import Opcode, OpClass
+from repro.isa.instructions import DynamicInstruction
+from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
 from repro.ooo.config import CoreConfig
 from repro.ooo.pipeline import OOOPipeline, PipelineResult
@@ -48,6 +48,10 @@ class DynaSpAMConfig:
     #: Future-work feature: end cap-split traces at their last branch so
     #: the next trace anchors immediately (no dead zone).
     smart_trace_selection: bool = False
+    #: Memoize predicted trace keys on (anchor PC, predictor history),
+    #: invalidated through predictor table stamps.  Results are identical
+    #: either way; the flag exists for A/B testing and diagnostics.
+    predict_memo: bool = True
     num_fabrics: int = 1
     mapper: str = "resource_aware"  # | "naive" (ablation)
     tcache_entries: int = 256
@@ -153,6 +157,8 @@ class DynaSpAM:
         self._offloaded_keys: set = set()
         self._squashes = 0
         self.program: Program | None = None
+        #: (anchor_pc, history) -> (predicted key, predictor stamp deps).
+        self._predict_memo: dict[tuple[int, int], tuple] = {}
 
     # ------------------------------------------------------------------
     def run(self, trace: list[DynamicInstruction], program: Program) -> DynaSpAMResult:
@@ -272,38 +278,81 @@ class DynaSpAM:
         return i + len(segment)
 
     # ------------------------------------------------------------------
+    #: Memo entries kept before a wholesale clear bounds memory on long
+    #: phase-changing workloads; steady-state working sets are far smaller.
+    _PREDICT_MEMO_CAP = 1 << 15
+
     def _predict_key(self, pc: int) -> tuple | None:
-        """Front-end walk of the static program under predicted branches."""
+        """Predicted trace key at ``pc``, memoized on (PC, history).
+
+        A memo entry is valid while the predictor-table indices its walk
+        read are unmodified (checked through ``BranchPredictor.update_stamp``
+        — training a constituent branch invalidates the entry).
+        """
+        bpred = self.pipeline.bpred
+        history = bpred.history
+        if not self.config.predict_memo:
+            return self._walk_predict_key(pc, history)[0]
+        stats = self.pipeline.stats
+        entry = self._predict_memo.get((pc, history))
+        if entry is not None:
+            key, deps = entry
+            stamps = bpred.update_stamp
+            for index, stamp in deps:
+                if stamps[index] != stamp:
+                    break
+            else:
+                stats.predict_memo_hits += 1
+                return key
+        stats.predict_memo_misses += 1
+        key, deps = self._walk_predict_key(pc, history)
+        memo = self._predict_memo
+        if len(memo) >= self._PREDICT_MEMO_CAP:
+            memo.clear()
+        memo[(pc, history)] = (key, deps)
+        return key
+
+    def _walk_predict_key(self, pc: int, history: int) -> tuple:
+        """Front-end walk of the static program under predicted branches.
+
+        Hops branch-to-branch over the program's precomputed
+        ``StaticSegment`` summaries instead of probing ``by_pc`` per
+        instruction.  Returns ``(key_or_None, stamp_deps)`` where
+        ``stamp_deps`` names the predictor-table state the walk read.
+        """
         program = self.program
         bpred = self.pipeline.bpred
         cfg = self.config
-        history = bpred.history
+        trace_length = cfg.trace_length
+        deps: list[tuple[int, int]] = []
         outcomes: list[bool] = []
         length = 0
         cursor = pc
-        while length < cfg.trace_length:
-            inst = program.by_pc.get(cursor)
-            if inst is None or inst.opcode is Opcode.HALT:
-                return None
-            length += 1
-            if inst.is_branch:
-                taken = bpred.peek_with_history(cursor, history)
-                history = bpred.shift_history(history, taken)
-                outcomes.append(taken)
-                if len(outcomes) >= cfg.max_branches:
+        while length < trace_length:
+            seg = program.segment_from(cursor)
+            remaining = trace_length - length
+            if seg.halts:
+                if seg.count >= remaining:
+                    length = trace_length  # cap reached before the HALT
                     break
-                cursor = (
-                    program.target_pc(inst) if taken else cursor + WORD_SIZE
-                )
-                if (cfg.smart_trace_selection
-                        and self.builder.distance_to_next_branch(cursor)
-                        > cfg.trace_length - length):
-                    break  # next block cannot fit: end the trace here
-            elif inst.opclass is OpClass.JUMP:
-                cursor = program.target_pc(inst)
-            else:
-                cursor += WORD_SIZE
-        return (pc, tuple(outcomes), length)
+                return None, tuple(deps)
+            if seg.count > remaining or seg.branch_pc is None:
+                length = trace_length  # cap splits the block mid-run
+                break
+            length += seg.count
+            taken, dep = bpred.peek_with_deps(seg.branch_pc, history)
+            deps.extend(dep)
+            history = bpred.shift_history(history, taken)
+            outcomes.append(taken)
+            if len(outcomes) >= cfg.max_branches:
+                break
+            cursor = seg.taken_pc if taken else seg.fall_pc
+            if (cfg.smart_trace_selection
+                    and program.distance_to_next_branch(
+                        cursor, trace_length + 1)
+                    > trace_length - length):
+                break  # next block cannot fit: end the trace here
+        return (pc, tuple(outcomes), length), tuple(deps)
 
     def _actual_segment(self, trace, i) -> list[DynamicInstruction]:
         """The oracle-path trace occurrence starting at index ``i``."""

@@ -25,6 +25,9 @@ class TraceWindow:
     anchor_pc: int
     start_seq: int
     instructions: list[DynamicInstruction] = field(default_factory=list)
+    #: Conditional branches appended so far (tracked incrementally: the
+    #: builder probes this on every committed instruction).
+    branches: int = 0
 
     @property
     def outcomes(self) -> tuple[bool, ...]:
@@ -67,36 +70,17 @@ class TraceWindowBuilder:
         #: at a branch whenever the following block cannot fit under the
         #: cap — so the next trace anchors immediately (no dead zone).
         self.program = program
-        self._distance_cache: dict[int, int] = {}
         self._window: TraceWindow | None = None
         self._awaiting_branch = False
 
     def distance_to_next_branch(self, pc: int) -> int:
         """Static instruction count from ``pc`` through the next
         conditional branch (inclusive), following unconditional jumps.
-        Returns ``max_length + 1`` if none is reachable within the cap."""
-        from repro.isa.instructions import WORD_SIZE
+        Returns ``max_length + 1`` if none is reachable within the cap.
 
-        cached = self._distance_cache.get(pc)
-        if cached is not None:
-            return cached
-        cursor = pc
-        distance = 0
-        limit = self.max_length + 1
-        while distance < limit:
-            inst = self.program.by_pc.get(cursor)
-            if inst is None or inst.opcode is Opcode.HALT:
-                distance = limit
-                break
-            distance += 1
-            if inst.is_branch:
-                break
-            if inst.opclass.is_control:  # unconditional jump
-                cursor = self.program.target_pc(inst)
-            else:
-                cursor += WORD_SIZE
-        self._distance_cache[pc] = distance
-        return distance
+        Delegates to the program's precomputed segment table.
+        """
+        return self.program.distance_to_next_branch(pc, self.max_length + 1)
 
     def _should_close_at_branch(self, window: TraceWindow,
                                 next_pc: int) -> bool:
@@ -126,8 +110,9 @@ class TraceWindowBuilder:
             self._window = TraceWindow(anchor_pc=dyn.pc, start_seq=dyn.seq)
         window = self._window
         window.instructions.append(dyn)
-        branches = sum(1 for d in window.instructions if d.is_branch)
-        if branches >= self.max_branches:
+        if dyn.is_branch:
+            window.branches += 1
+        if window.branches >= self.max_branches:
             self._window = None
             return window
         if dyn.is_branch and self._should_close_at_branch(window, dyn.next_pc):

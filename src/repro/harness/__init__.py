@@ -7,11 +7,15 @@ pytest-benchmark targets.
 """
 
 from repro.harness.runner import (
+    baseline_spec,
     clear_run_cache,
+    dynaspam_spec,
     run_baseline,
     run_dynaspam,
     RunKey,
+    RunSpec,
 )
+from repro.harness.parallel import default_jobs, execute_runs, warm_cache
 from repro.harness.experiments import (
     figure7_coverage,
     figure8_performance,
@@ -23,15 +27,21 @@ from repro.harness.experiments import (
 )
 
 __all__ = [
+    "baseline_spec",
     "clear_run_cache",
+    "default_jobs",
+    "dynaspam_spec",
+    "execute_runs",
     "figure7_coverage",
     "figure8_performance",
     "figure9_energy",
     "run_baseline",
     "run_dynaspam",
     "RunKey",
+    "RunSpec",
     "table3_benchmarks",
     "table4_parameters",
     "table5_lifetime",
     "table6_area",
+    "warm_cache",
 ]

@@ -11,8 +11,15 @@ from dataclasses import dataclass, field
 
 from repro.energy import EnergyModel, FabricAreaModel, FIGURE9_COMPONENTS, SramModel
 from repro.energy.area import MODULE_AREAS_UM2, PAPER_CONFIG_CACHE_MM2
+from repro.harness.parallel import warm_cache
 from repro.harness.reporting import format_bars, format_stacked, format_table
-from repro.harness.runner import geomean, run_baseline, run_dynaspam
+from repro.harness.runner import (
+    baseline_spec,
+    dynaspam_spec,
+    geomean,
+    run_baseline,
+    run_dynaspam,
+)
 from repro.ooo.config import CoreConfig
 from repro.workloads import ALL_ABBREVS, BENCHMARKS
 
@@ -112,8 +119,14 @@ class CoverageResult:
 
 
 def figure7_coverage(
-    scale: float = 1.0, lengths: tuple[int, ...] = (16, 24, 32, 40)
+    scale: float = 1.0, lengths: tuple[int, ...] = (16, 24, 32, 40),
+    jobs: int | None = None,
 ) -> CoverageResult:
+    warm_cache(
+        (dynaspam_spec(abbrev, scale, trace_length=length)
+         for abbrev in PAPER_ORDER for length in lengths),
+        jobs,
+    )
     result = CoverageResult(scale, tuple(lengths))
     for abbrev in PAPER_ORDER:
         per_length = {}
@@ -156,8 +169,15 @@ class LifetimeResult:
 
 
 def table5_lifetime(
-    scale: float = 1.0, fabric_counts: tuple[int, ...] = (1, 2, 4)
+    scale: float = 1.0, fabric_counts: tuple[int, ...] = (1, 2, 4),
+    jobs: int | None = None,
 ) -> LifetimeResult:
+    warm_cache(
+        [dynaspam_spec(abbrev, scale, num_fabrics=count)
+         for abbrev in PAPER_ORDER for count in fabric_counts]
+        + [dynaspam_spec("BFS", scale, num_fabrics=8)],
+        jobs,
+    )
     result = LifetimeResult(scale, tuple(fabric_counts))
     for abbrev in PAPER_ORDER:
         lifetime = {}
@@ -208,7 +228,21 @@ class PerformanceResult:
         )
 
 
-def figure8_performance(scale: float = 1.0) -> PerformanceResult:
+def figure8_specs(scale: float = 1.0) -> list:
+    """Every run the Figure 8 sweep needs (baseline + three series)."""
+    specs = []
+    for abbrev in PAPER_ORDER:
+        specs.append(baseline_spec(abbrev, scale))
+        specs.append(dynaspam_spec(abbrev, scale, mode="mapping_only"))
+        specs.append(dynaspam_spec(abbrev, scale, speculation=False))
+        specs.append(dynaspam_spec(abbrev, scale))
+    return specs
+
+
+def figure8_performance(
+    scale: float = 1.0, jobs: int | None = None
+) -> PerformanceResult:
+    warm_cache(figure8_specs(scale), jobs)
     result = PerformanceResult(scale)
     for abbrev in PAPER_ORDER:
         base = run_baseline(abbrev, scale).cycles
@@ -258,7 +292,15 @@ class EnergyResult:
         return "\n".join(out)
 
 
-def figure9_energy(scale: float = 1.0) -> EnergyResult:
+def figure9_energy(
+    scale: float = 1.0, jobs: int | None = None
+) -> EnergyResult:
+    warm_cache(
+        [spec for abbrev in PAPER_ORDER
+         for spec in (baseline_spec(abbrev, scale),
+                      dynaspam_spec(abbrev, scale))],
+        jobs,
+    )
     model = EnergyModel()
     result = EnergyResult(scale)
     for abbrev in PAPER_ORDER:

@@ -1,0 +1,117 @@
+"""Parallel sweep execution: fan independent runs out over processes.
+
+Every experiment sweep is embarrassingly parallel across ``RunSpec``s.
+``execute_runs`` resolves what it can from the local caches, groups the
+remaining work by ``(benchmark, scale)`` so each worker generates (or
+disk-loads) a trace once, fans the groups out over a ``ProcessPoolExecutor``,
+and merges worker results back into the parent's in-memory and on-disk
+caches.  Serial and parallel execution produce bit-identical results: a
+run never depends on any other run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import defaultdict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Iterable
+
+import repro.harness.diskcache as diskcache
+from repro.harness.profiling import PROFILER
+from repro.harness.runner import (
+    RunKey,
+    RunSpec,
+    execute_spec,
+    peek_cached,
+    seed_run_cache,
+)
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def _worker_batch(
+    specs: list[RunSpec], cache_enabled: bool, cache_root: str | None
+) -> tuple[list[tuple[RunKey, Any]], dict, dict]:
+    """Run one batch of specs inside a worker process.
+
+    Returns the results plus the worker's profiler snapshot and disk
+    cache counters, which the parent folds back in — otherwise a
+    parallel ``--profile``/``bench`` report would show zero simulation
+    time and zero cache writes.
+    """
+    diskcache.configure(enabled=cache_enabled, root=cache_root)
+    PROFILER.reset()  # forked workers inherit the parent's totals
+    pairs = [(spec.key, execute_spec(spec)) for spec in specs]
+    return pairs, PROFILER.snapshot(), diskcache.shared_stats()
+
+
+def execute_runs(
+    specs: Iterable[RunSpec], jobs: int | None = None
+) -> dict[RunKey, Any]:
+    """Resolve every spec, fanning cache misses out over ``jobs`` processes.
+
+    ``jobs`` of ``None``/0/1 runs serially in-process.  Returns a dict
+    keyed by ``RunKey``; the parent's caches are seeded either way, so
+    subsequent ``run_baseline``/``run_dynaspam`` calls are memory hits.
+    """
+    unique: dict[RunKey, RunSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.key, spec)
+
+    results: dict[RunKey, Any] = {}
+    for key, spec in unique.items():
+        cached = peek_cached(key)
+        if cached is not None:
+            results[key] = cached
+    pending = [spec for key, spec in unique.items() if key not in results]
+
+    jobs = jobs or 1
+    if jobs <= 1 or len(pending) <= 1:
+        for spec in pending:
+            results[spec.key] = execute_spec(spec)
+        return results
+
+    # One batch per (benchmark, scale): the worker's in-process trace
+    # cache then amortizes trace generation across the batch's runs.
+    groups: dict[tuple[str, float], list[RunSpec]] = defaultdict(list)
+    for spec in pending:
+        groups[(spec.abbrev, spec.scale)].append(spec)
+    batches = list(groups.values())
+
+    cache_enabled = diskcache.is_enabled()
+    cache_root = diskcache.configured_root()
+    workers = min(jobs, len(batches))
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    with PROFILER.section("parallel_execution"):
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(_worker_batch, batch, cache_enabled, cache_root)
+                for batch in batches
+            ]
+            for future in as_completed(futures):
+                pairs, worker_profile, worker_disk = future.result()
+                for key, result in pairs:
+                    seed_run_cache(key, result)
+                    results[key] = result
+                    PROFILER.bump("parallel_runs_completed")
+                PROFILER.merge_snapshot(worker_profile)
+                diskcache.merge_stats(worker_disk)
+    return results
+
+
+def warm_cache(specs: Iterable[RunSpec], jobs: int | None = None) -> None:
+    """Prefetch runs into the caches ahead of a serial driver loop.
+
+    With ``jobs`` unset this is a no-op — the driver's own lazy calls do
+    the work serially, exactly as before the parallel engine existed.
+    """
+    if jobs and jobs > 1:
+        execute_runs(specs, jobs)

@@ -1,0 +1,74 @@
+"""Wall-clock sections and counters for the experiment harness.
+
+The module-level ``PROFILER`` accumulates per-phase wall-clock time
+(trace generation, simulation, cache I/O, parallel fan-out) and named
+counters (memo and cache hits/misses).  The CLI prints it under
+``--profile``; ``repro bench`` embeds a snapshot in its JSON report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Profiler:
+    """Accumulating wall-clock sections + counters."""
+
+    def __init__(self) -> None:
+        self.sections: dict[str, float] = {}
+        self.counters: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self.sections.clear()
+        self.counters.clear()
+
+    @contextmanager
+    def section(self, name: str):
+        """Accumulate the wall-clock time of the enclosed block."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.sections[name] = self.sections.get(name, 0.0) + elapsed
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def snapshot(self) -> dict:
+        """JSON-serializable copy of the accumulated state."""
+        return {
+            "sections_seconds": dict(self.sections),
+            "counters": dict(self.counters),
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a worker process's snapshot into this profiler.
+
+        Worker section times sum across processes, so they read as
+        aggregate compute seconds next to the parent's wall-clock
+        ``parallel_execution`` section.
+        """
+        for name, seconds in snapshot.get("sections_seconds", {}).items():
+            self.sections[name] = self.sections.get(name, 0.0) + seconds
+        for name, count in snapshot.get("counters", {}).items():
+            self.bump(name, count)
+
+    def render(self) -> str:
+        lines = ["profile: per-phase wall clock"]
+        total = sum(self.sections.values())
+        for name, seconds in sorted(
+            self.sections.items(), key=lambda kv: -kv[1]
+        ):
+            share = seconds / total if total else 0.0
+            lines.append(f"  {name:<24} {seconds:8.3f}s  {share:6.1%}")
+        if self.counters:
+            lines.append("profile: counters")
+            for name, count in sorted(self.counters.items()):
+                lines.append(f"  {name:<24} {count}")
+        return "\n".join(lines)
+
+
+#: Process-wide profiler instance.
+PROFILER = Profiler()

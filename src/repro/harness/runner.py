@@ -1,49 +1,191 @@
-"""Simulation drivers with run-level caching.
+"""Simulation drivers with layered run caching.
 
 Figure 8 and Figure 9 share the same accelerated runs, and Figure 7 reuses
-runs across trace lengths; caching by run key keeps a full experiment
-sweep to one simulation per distinct configuration.
+runs across trace lengths.  A run is resolved through three layers,
+cheapest first:
+
+1. the in-process ``_RUN_CACHE`` dict,
+2. the content-addressed on-disk cache (``repro.harness.diskcache``),
+3. a fresh simulation (whose result seeds both caches).
+
+Cache identity is the *full* frozen configuration — every field of
+``DynaSpAMConfig``, ``CoreConfig``, and ``FabricConfig`` — so runs that
+differ in any knob (``hot_threshold``, ``ready_threshold``, fabric
+geometry, ...) can never serve each other's results.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
+from typing import Any
 
+import repro.harness.diskcache as diskcache
 from repro.core import DynaSpAM, DynaSpAMConfig, DynaSpAMResult
+from repro.fabric.config import FabricConfig
+from repro.harness.profiling import PROFILER
+from repro.ooo.config import CoreConfig
 from repro.ooo.pipeline import OOOPipeline, PipelineResult
 from repro.workloads import generate_trace
 
 
+def freeze_config(obj) -> Any:
+    """Recursively freeze a config dataclass into a hashable, stable tuple."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return tuple(
+            (f.name, freeze_config(getattr(obj, f.name)))
+            for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, dict):
+        return tuple(
+            sorted((k, freeze_config(v)) for k, v in obj.items())
+        )
+    if isinstance(obj, (list, tuple)):
+        return tuple(freeze_config(v) for v in obj)
+    return obj
+
+
 @dataclass(frozen=True)
 class RunKey:
-    """Identity of one simulation run."""
+    """Identity of one simulation run: benchmark, scale, frozen configs."""
 
+    kind: str              # "baseline" | "dynaspam"
     abbrev: str
     scale: float
-    mode: str = "baseline"
-    speculation: bool = True
-    trace_length: int = 32
-    num_fabrics: int = 1
-    mapper: str = "resource_aware"
+    config: tuple = ()
 
 
-_BASELINE_CACHE: dict[tuple, PipelineResult] = {}
-_DYNASPAM_CACHE: dict[RunKey, DynaSpAMResult] = {}
+@dataclass
+class RunSpec:
+    """A run request.
+
+    The live config objects travel with the spec (they pickle cleanly to
+    worker processes); ``key`` freezes them into the cache identity.
+    """
+
+    kind: str              # "baseline" | "dynaspam"
+    abbrev: str
+    scale: float
+    ds_config: DynaSpAMConfig | None = None
+    core_config: CoreConfig | None = None
+    fabric_config: FabricConfig | None = None
+
+    @property
+    def key(self) -> RunKey:
+        core = freeze_config(self.core_config or CoreConfig())
+        if self.kind == "baseline":
+            frozen = (("core", core),)
+        else:
+            frozen = (
+                ("ds", freeze_config(self.ds_config or DynaSpAMConfig())),
+                ("core", core),
+                ("fabric",
+                 freeze_config(self.fabric_config or FabricConfig())),
+            )
+        return RunKey(self.kind, self.abbrev, self.scale, frozen)
+
+
+def baseline_spec(
+    abbrev: str, scale: float = 1.0, core_config: CoreConfig | None = None
+) -> RunSpec:
+    return RunSpec("baseline", abbrev, scale, core_config=core_config)
+
+
+def dynaspam_spec(
+    abbrev: str,
+    scale: float = 1.0,
+    *,
+    config: DynaSpAMConfig | None = None,
+    core_config: CoreConfig | None = None,
+    fabric_config: FabricConfig | None = None,
+    **knobs,
+) -> RunSpec:
+    """Build a DynaSpAM run spec from a full config or individual knobs."""
+    if config is None:
+        config = DynaSpAMConfig(**knobs)
+    elif knobs:
+        raise TypeError("pass either a full config or knobs, not both")
+    return RunSpec(
+        "dynaspam", abbrev, scale,
+        ds_config=config, core_config=core_config,
+        fabric_config=fabric_config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Layered resolution
+# ---------------------------------------------------------------------------
+_RUN_CACHE: dict[RunKey, Any] = {}
 
 
 def clear_run_cache() -> None:
-    _BASELINE_CACHE.clear()
-    _DYNASPAM_CACHE.clear()
+    """Drop the in-process run cache (the disk layer is untouched)."""
+    _RUN_CACHE.clear()
 
 
-def run_baseline(abbrev: str, scale: float = 1.0) -> PipelineResult:
+def peek_cached(key: RunKey):
+    """Resolve a key from the memory or disk layers only (no simulation)."""
+    cached = _RUN_CACHE.get(key)
+    if cached is not None:
+        PROFILER.bump("run_cache_memory_hits")
+        return cached
+    disk = diskcache.shared_cache("runs")
+    if disk is not None:
+        with PROFILER.section("disk_cache_io"):
+            result = disk.get(key)
+        if result is not None:
+            _RUN_CACHE[key] = result
+            return result
+    return None
+
+
+def seed_run_cache(key: RunKey, result) -> None:
+    """Install an externally computed result into the in-memory layer."""
+    _RUN_CACHE[key] = result
+
+
+def _simulate(spec: RunSpec):
+    with PROFILER.section("trace_generation"):
+        trace = generate_trace(spec.abbrev, spec.scale)
+    if spec.kind == "baseline":
+        with PROFILER.section("simulate_baseline"):
+            return OOOPipeline(spec.core_config).run_trace(trace.trace)
+    machine = DynaSpAM(
+        core_config=spec.core_config,
+        fabric_config=spec.fabric_config,
+        ds_config=spec.ds_config,
+    )
+    with PROFILER.section("simulate_dynaspam"):
+        result = machine.run(trace.trace, trace.program)
+    PROFILER.bump("predict_memo_hits", result.stats.predict_memo_hits)
+    PROFILER.bump("predict_memo_misses", result.stats.predict_memo_misses)
+    return result
+
+
+def execute_spec(spec: RunSpec):
+    """Resolve one run through memory -> disk -> simulation."""
+    key = spec.key
+    cached = peek_cached(key)
+    if cached is not None:
+        return cached
+    result = _simulate(spec)
+    _RUN_CACHE[key] = result
+    disk = diskcache.shared_cache("runs")
+    if disk is not None:
+        with PROFILER.section("disk_cache_io"):
+            disk.put(key, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Public drivers
+# ---------------------------------------------------------------------------
+def run_baseline(
+    abbrev: str, scale: float = 1.0, core_config: CoreConfig | None = None
+) -> PipelineResult:
     """Simulate a benchmark on the plain host OOO pipeline."""
-    key = (abbrev, scale)
-    if key not in _BASELINE_CACHE:
-        trace = generate_trace(abbrev, scale)
-        _BASELINE_CACHE[key] = OOOPipeline().run_trace(trace.trace)
-    return _BASELINE_CACHE[key]
+    return execute_spec(baseline_spec(abbrev, scale, core_config))
 
 
 def run_dynaspam(
@@ -54,23 +196,26 @@ def run_dynaspam(
     trace_length: int = 32,
     num_fabrics: int = 1,
     mapper: str = "resource_aware",
+    *,
+    config: DynaSpAMConfig | None = None,
+    core_config: CoreConfig | None = None,
+    fabric_config: FabricConfig | None = None,
 ) -> DynaSpAMResult:
     """Simulate a benchmark on the DynaSpAM-augmented core."""
-    key = RunKey(abbrev, scale, mode, speculation, trace_length,
-                 num_fabrics, mapper)
-    if key not in _DYNASPAM_CACHE:
-        trace = generate_trace(abbrev, scale)
-        machine = DynaSpAM(
-            ds_config=DynaSpAMConfig(
-                mode=mode,
-                speculation=speculation,
-                trace_length=trace_length,
-                num_fabrics=num_fabrics,
-                mapper=mapper,
-            )
+    if config is None:
+        config = DynaSpAMConfig(
+            mode=mode,
+            speculation=speculation,
+            trace_length=trace_length,
+            num_fabrics=num_fabrics,
+            mapper=mapper,
         )
-        _DYNASPAM_CACHE[key] = machine.run(trace.trace, trace.program)
-    return _DYNASPAM_CACHE[key]
+    return execute_spec(
+        dynaspam_spec(
+            abbrev, scale, config=config,
+            core_config=core_config, fabric_config=fabric_config,
+        )
+    )
 
 
 def geomean(values) -> float:

@@ -42,33 +42,27 @@ class Instruction:
     target: str | None = None
     pc: int = field(default=-1, compare=False)
 
-    @property
-    def opclass(self) -> OpClass:
-        return opclass_of(self.opcode)
+    # Derived metadata, resolved once at construction: the simulators probe
+    # these on every dynamic instruction, so they are plain attributes
+    # rather than recomputed properties.
+    opclass: OpClass = field(init=False, compare=False, repr=False)
+    latency: int = field(init=False, compare=False, repr=False)
+    is_branch: bool = field(init=False, compare=False, repr=False)
+    is_control: bool = field(init=False, compare=False, repr=False)
+    is_load: bool = field(init=False, compare=False, repr=False)
+    is_store: bool = field(init=False, compare=False, repr=False)
+    is_memory: bool = field(init=False, compare=False, repr=False)
 
-    @property
-    def latency(self) -> int:
-        return latency_of(self.opcode)
-
-    @property
-    def is_branch(self) -> bool:
-        return self.opclass is OpClass.BRANCH
-
-    @property
-    def is_control(self) -> bool:
-        return self.opclass.is_control
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
-
-    @property
-    def is_memory(self) -> bool:
-        return self.opclass.is_memory
+    def __post_init__(self) -> None:
+        opclass = opclass_of(self.opcode)
+        set_attr = object.__setattr__  # frozen dataclass
+        set_attr(self, "opclass", opclass)
+        set_attr(self, "latency", latency_of(self.opcode))
+        set_attr(self, "is_branch", opclass is OpClass.BRANCH)
+        set_attr(self, "is_control", opclass.is_control)
+        set_attr(self, "is_load", opclass is OpClass.LOAD)
+        set_attr(self, "is_store", opclass is OpClass.STORE)
+        set_attr(self, "is_memory", opclass.is_memory)
 
     def with_pc(self, pc: int) -> "Instruction":
         """Return a copy of this instruction placed at ``pc``."""
@@ -103,7 +97,8 @@ class DynamicInstruction:
         PC of the next dynamic instruction (the branch target when taken).
     """
 
-    __slots__ = ("seq", "static", "addr", "taken", "next_pc")
+    __slots__ = ("seq", "static", "addr", "taken", "next_pc",
+                 "pc", "opcode", "is_branch")
 
     def __init__(
         self,
@@ -118,14 +113,10 @@ class DynamicInstruction:
         self.addr = addr
         self.taken = taken
         self.next_pc = next_pc
-
-    @property
-    def pc(self) -> int:
-        return self.static.pc
-
-    @property
-    def opcode(self) -> Opcode:
-        return self.static.opcode
+        # Flattened from ``static``: probed on every simulated cycle.
+        self.pc = static.pc
+        self.opcode = static.opcode
+        self.is_branch = static.is_branch
 
     @property
     def opclass(self) -> OpClass:
@@ -138,10 +129,6 @@ class DynamicInstruction:
     @property
     def srcs(self) -> tuple[str, ...]:
         return self.static.srcs
-
-    @property
-    def is_branch(self) -> bool:
-        return self.static.is_branch
 
     @property
     def is_control(self) -> bool:

@@ -17,6 +17,35 @@ class ProgramError(Exception):
     """Raised when a program violates a structural invariant."""
 
 
+#: Upper bound on a single straight-line segment walk.  A run of more than
+#: this many instructions without a conditional branch or HALT (possible
+#: only through an unconditional-jump cycle) is recorded as an endless
+#: straight run; every practical trace-length cap is far below this.
+SEGMENT_WALK_CAP = 1 << 12
+
+
+class StaticSegment:
+    """Summary of the straight-line run starting at one PC.
+
+    The run follows unconditional jumps and ends at the first conditional
+    branch (inclusive), at a HALT, or at an unmapped PC.  ``count`` is the
+    number of executable instructions in the run; for a branch-terminated
+    segment it includes the branch itself and ``taken_pc`` / ``fall_pc``
+    give the two successor PCs.  ``halts`` marks runs that reach HALT or
+    leave the program before any branch.
+    """
+
+    __slots__ = ("count", "branch_pc", "taken_pc", "fall_pc", "halts")
+
+    def __init__(self, count: int, branch_pc: int | None,
+                 taken_pc: int, fall_pc: int, halts: bool) -> None:
+        self.count = count
+        self.branch_pc = branch_pc
+        self.taken_pc = taken_pc
+        self.fall_pc = fall_pc
+        self.halts = halts
+
+
 class BasicBlock:
     """A labelled straight-line instruction sequence.
 
@@ -84,9 +113,58 @@ class Program:
         if last.opcode is not Opcode.HALT:
             raise ProgramError("program must end with HALT")
 
+        #: Lazily filled per-PC segment summaries (the program is immutable
+        #: once linked, so entries never need invalidation).
+        self._segments: dict[int, StaticSegment] = {}
+
     @property
     def entry_pc(self) -> int:
         return 0
+
+    # ------------------------------------------------------------------
+    # Precomputed front-end metadata
+    # ------------------------------------------------------------------
+    def segment_from(self, pc: int) -> StaticSegment:
+        """The (cached) straight-line segment summary starting at ``pc``.
+
+        DynaSpAM's predicted-trace walk and the trace-window builder use
+        these summaries to hop branch-to-branch instead of probing
+        ``by_pc`` instruction-by-instruction.
+        """
+        seg = self._segments.get(pc)
+        if seg is None:
+            seg = self._walk_segment(pc)
+            self._segments[pc] = seg
+        return seg
+
+    def _walk_segment(self, pc: int) -> StaticSegment:
+        by_pc = self.by_pc
+        cursor = pc
+        count = 0
+        while count < SEGMENT_WALK_CAP:
+            inst = by_pc.get(cursor)
+            if inst is None or inst.opcode is Opcode.HALT:
+                return StaticSegment(count, None, -1, -1, halts=True)
+            count += 1
+            if inst.is_branch:
+                return StaticSegment(
+                    count, cursor, self.target_pc(inst),
+                    cursor + WORD_SIZE, halts=False,
+                )
+            if inst.is_control:  # unconditional jump
+                cursor = self.target_pc(inst)
+            else:
+                cursor += WORD_SIZE
+        return StaticSegment(count, None, -1, -1, halts=False)
+
+    def distance_to_next_branch(self, pc: int, limit: int) -> int:
+        """Static instruction count from ``pc`` through the next
+        conditional branch (inclusive), following unconditional jumps;
+        saturates at ``limit`` when no branch is reachable that soon."""
+        seg = self.segment_from(pc)
+        if seg.halts or seg.branch_pc is None:
+            return limit
+        return seg.count if seg.count < limit else limit
 
     def target_pc(self, inst: Instruction) -> int:
         """Resolve the branch/jump target PC of a control instruction."""

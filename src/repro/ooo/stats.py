@@ -80,6 +80,10 @@ class PipelineStats:
     config_cache_writes: int = 0
     drain_cycles: int = 0
 
+    # Simulator-internal observability (no energy cost; --profile output).
+    predict_memo_hits: int = 0
+    predict_memo_misses: int = 0
+
     def merge(self, other: "PipelineStats") -> None:
         """Accumulate another stats record into this one."""
         for f in fields(self):

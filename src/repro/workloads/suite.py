@@ -78,13 +78,27 @@ def get_benchmark(abbrev: str) -> Benchmark:
 
 
 def generate_trace(abbrev: str, scale: float = 1.0) -> ExecutionResult:
-    """Functionally execute a benchmark and return its (cached) trace."""
+    """Functionally execute a benchmark and return its (cached) trace.
+
+    Traces resolve through the in-process cache, then the on-disk cache
+    (parallel sweep workers share generated traces this way), and are
+    regenerated only when both miss.
+    """
     key = (abbrev, scale)
     if key not in _TRACE_CACHE:
-        program, memory = get_benchmark(abbrev).build(scale)
-        _TRACE_CACHE[key] = FunctionalExecutor(max_instructions=20_000_000).run(
-            program, memory
-        )
+        # Imported lazily: workloads sit below the harness layer.
+        import repro.harness.diskcache as diskcache
+
+        disk = diskcache.shared_cache("traces")
+        result = disk.get(("trace", abbrev, scale)) if disk else None
+        if result is None:
+            program, memory = get_benchmark(abbrev).build(scale)
+            result = FunctionalExecutor(max_instructions=20_000_000).run(
+                program, memory
+            )
+            if disk is not None:
+                disk.put(("trace", abbrev, scale), result)
+        _TRACE_CACHE[key] = result
     return _TRACE_CACHE[key]
 
 

@@ -1,0 +1,70 @@
+"""Tests for the predicted-trace-key memo and its stamp invalidation."""
+
+from repro.core import DynaSpAM, DynaSpAMConfig
+from repro.ooo.branch_predictor import BranchPredictor
+from repro.workloads import generate_trace
+
+SCALE = 0.1
+
+
+def _strip_memo_counters(result) -> dict:
+    stats = result.stats.as_dict()
+    stats.pop("predict_memo_hits")
+    stats.pop("predict_memo_misses")
+    return stats
+
+
+def test_memoized_runs_match_unmemoized_exactly():
+    for abbrev in ("KM", "NW"):
+        run = generate_trace(abbrev, SCALE)
+        memoized = DynaSpAM(ds_config=DynaSpAMConfig()).run(
+            run.trace, run.program
+        )
+        plain = DynaSpAM(
+            ds_config=DynaSpAMConfig(predict_memo=False)
+        ).run(run.trace, run.program)
+        assert memoized.cycles == plain.cycles
+        assert memoized.squashes == plain.squashes
+        assert memoized.coverage == plain.coverage
+        assert memoized.mapped_traces == plain.mapped_traces
+        assert memoized.offloaded_traces == plain.offloaded_traces
+        assert _strip_memo_counters(memoized) == _strip_memo_counters(plain)
+        assert memoized.stats.predict_memo_hits > 0
+        assert plain.stats.predict_memo_hits == 0
+
+
+def test_memo_disabled_counts_nothing():
+    run = generate_trace("KM", SCALE)
+    result = DynaSpAM(
+        ds_config=DynaSpAMConfig(predict_memo=False)
+    ).run(run.trace, run.program)
+    assert result.stats.predict_memo_hits == 0
+    assert result.stats.predict_memo_misses == 0
+
+
+def test_predictor_stamps_bump_only_on_table_change():
+    bpred = BranchPredictor()
+    pc = 0x40
+    taken, deps = bpred.peek_with_deps(pc, bpred.history)
+    (pc_index, pc_stamp), (g_index, g_stamp) = deps
+    # Training toward taken moves both weak counters: stamps must bump.
+    bpred.predict_and_update(pc, True)
+    assert bpred.update_stamp[pc_index] > pc_stamp
+    assert bpred.update_stamp[g_index] > g_stamp
+    # Saturate the counters, then train again: values stop changing and
+    # stamps stop moving.
+    for _ in range(8):
+        bpred.predict_and_update(pc, True)
+    frozen_pc = bpred.update_stamp[pc_index]
+    frozen_g = bpred.update_stamp[g_index]
+    bpred.predict_and_update(pc, True)
+    assert bpred.update_stamp[pc_index] == frozen_pc
+    assert bpred.update_stamp[g_index] == frozen_g
+
+
+def test_peek_with_deps_matches_peek_with_history():
+    bpred = BranchPredictor()
+    for pc in (0x0, 0x10, 0x44, 0x100):
+        for history in (0, 3, 0b1010):
+            taken, _ = bpred.peek_with_deps(pc, history)
+            assert taken == bpred.peek_with_history(pc, history)

@@ -1,0 +1,81 @@
+"""Determinism and merging tests for the parallel sweep engine."""
+
+import pytest
+
+import repro.harness.diskcache as diskcache
+from repro.harness.parallel import default_jobs, execute_runs
+from repro.harness.runner import (
+    clear_run_cache,
+    dynaspam_spec,
+    execute_spec,
+    run_dynaspam,
+)
+from repro.workloads import ALL_ABBREVS
+
+SCALE = 0.05
+
+
+@pytest.fixture
+def no_disk():
+    """Force real simulation in both serial and parallel paths."""
+    diskcache.configure(enabled=False)
+    yield
+    diskcache.configure()
+
+
+def _fingerprint(result) -> dict:
+    return {
+        "cycles": result.cycles,
+        "coverage": result.coverage,
+        "squashes": result.squashes,
+        "mapped": result.mapped_traces,
+        "offloaded": result.offloaded_traces,
+        "stats": result.stats.as_dict(),
+    }
+
+
+def test_parallel_matches_serial_for_all_benchmarks(no_disk):
+    specs = [dynaspam_spec(abbrev, SCALE) for abbrev in ALL_ABBREVS]
+    assert len(specs) == 11
+
+    clear_run_cache()
+    serial = {
+        spec.key: _fingerprint(execute_spec(spec)) for spec in specs
+    }
+
+    clear_run_cache()
+    parallel = {
+        key: _fingerprint(result)
+        for key, result in execute_runs(specs, jobs=4).items()
+    }
+
+    assert set(parallel) == set(serial)
+    for key in serial:
+        assert parallel[key] == serial[key], key.abbrev
+
+
+def test_parallel_seeds_in_memory_cache(no_disk):
+    clear_run_cache()
+    specs = [dynaspam_spec("KM", SCALE), dynaspam_spec("BFS", SCALE)]
+    results = execute_runs(specs, jobs=2)
+    # The lazy driver path must now be a pure memory hit (same object).
+    assert run_dynaspam("KM", SCALE) is results[specs[0].key]
+    assert run_dynaspam("BFS", SCALE) is results[specs[1].key]
+
+
+def test_duplicate_specs_collapse(no_disk):
+    clear_run_cache()
+    specs = [dynaspam_spec("KM", SCALE)] * 3
+    results = execute_runs(specs, jobs=2)
+    assert len(results) == 1
+
+
+def test_jobs_one_runs_serially(no_disk):
+    clear_run_cache()
+    specs = [dynaspam_spec("KM", SCALE)]
+    results = execute_runs(specs, jobs=1)
+    assert specs[0].key in results
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1

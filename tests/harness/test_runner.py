@@ -79,6 +79,19 @@ def test_table7_feature_matrix():
     assert dynaspam_row.count("yes") == 5
 
 
+def test_dynaspam_cache_distinguishes_every_knob():
+    """The seed cache keyed on a knob subset; the key now freezes the
+    full config, so e.g. hot_threshold sweeps can't serve stale results."""
+    from repro.core import DynaSpAMConfig
+    from repro.harness.runner import run_dynaspam
+
+    a = run_dynaspam("KM", SCALE)
+    b = run_dynaspam("KM", SCALE, config=DynaSpAMConfig(hot_threshold=6))
+    c = run_dynaspam("KM", SCALE, config=DynaSpAMConfig(hot_threshold=6))
+    assert a is not b
+    assert b is c
+
+
 def test_figure8_runs_at_tiny_scale():
     result = figure8_performance(SCALE)
     assert set(result.speedups) == {

@@ -1,0 +1,81 @@
+"""Tests for the precomputed per-PC static metadata on ``Program``."""
+
+from repro.isa.instructions import WORD_SIZE
+from repro.isa.opcodes import Opcode, OpClass, opclass_of
+from repro.workloads import generate_trace
+
+SCALE = 0.05
+
+
+def reference_distance(program, pc: int, limit: int) -> int:
+    """The pre-metadata instruction-by-instruction walk (seed semantics)."""
+    cursor = pc
+    distance = 0
+    while distance < limit:
+        inst = program.by_pc.get(cursor)
+        if inst is None or inst.opcode is Opcode.HALT:
+            return limit
+        distance += 1
+        if inst.is_branch:
+            return distance
+        if inst.opclass.is_control:
+            cursor = program.target_pc(inst)
+        else:
+            cursor += WORD_SIZE
+    return limit
+
+
+def test_instruction_metadata_matches_opclass():
+    program = generate_trace("KM", SCALE).program
+    for inst in program.instructions:
+        assert inst.opclass is opclass_of(inst.opcode)
+        assert inst.latency >= 1
+        assert inst.is_branch == (inst.opclass is OpClass.BRANCH)
+        assert inst.is_control == inst.opclass.is_control
+        assert inst.is_load == (inst.opclass is OpClass.LOAD)
+        assert inst.is_store == (inst.opclass is OpClass.STORE)
+        assert inst.is_memory == inst.opclass.is_memory
+
+
+def test_dynamic_instruction_flattened_fields():
+    trace = generate_trace("BFS", SCALE).trace
+    for dyn in trace[:2000]:
+        assert dyn.pc == dyn.static.pc
+        assert dyn.opcode is dyn.static.opcode
+        assert dyn.is_branch == dyn.static.is_branch
+
+
+def test_distance_matches_reference_walk_everywhere():
+    for abbrev in ("KM", "NW", "SRAD"):
+        program = generate_trace(abbrev, SCALE).program
+        for limit in (9, 33):
+            for inst in program.instructions:
+                assert program.distance_to_next_branch(inst.pc, limit) == (
+                    reference_distance(program, inst.pc, limit)
+                ), (abbrev, hex(inst.pc), limit)
+
+
+def test_segment_summaries_are_consistent():
+    program = generate_trace("KM", SCALE).program
+    for inst in program.instructions:
+        seg = program.segment_from(inst.pc)
+        if seg.halts:
+            # The run reaches HALT (or leaves the program) before a branch.
+            assert seg.branch_pc is None
+            continue
+        assert seg.count >= 1
+        branch = program.by_pc[seg.branch_pc]
+        assert branch.is_branch
+        assert seg.fall_pc == seg.branch_pc + WORD_SIZE
+        assert seg.taken_pc == program.target_pc(branch)
+
+
+def test_segment_from_unmapped_pc_halts():
+    program = generate_trace("KM", SCALE).program
+    seg = program.segment_from(0xDEAD00)
+    assert seg.halts and seg.count == 0
+
+
+def test_segments_are_cached():
+    program = generate_trace("KM", SCALE).program
+    assert program.segment_from(0) is program.segment_from(0)

@@ -54,3 +54,45 @@ def test_harness_delegation(capsys):
     assert main(["harness", "table6"]) == 0
     out = capsys.readouterr().out
     assert "2.9 mm^2" in out
+
+
+def test_harness_delegation_forwards_perf_flags(capsys):
+    assert main(["harness", "table6", "--no-cache", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: per-phase wall clock" in out
+
+
+def test_bench_command_writes_report(tmp_path, capsys, monkeypatch):
+    import repro.harness.diskcache as diskcache
+
+    monkeypatch.setenv(diskcache.ENV_CACHE_DIR, str(tmp_path / "cache"))
+    diskcache.configure()
+    out_path = tmp_path / "BENCH_speedup.json"
+    try:
+        assert main(["bench", "--scale", "0.05", "--jobs", "2",
+                     "--output", str(out_path)]) == 0
+    finally:
+        diskcache.configure()
+    printed = capsys.readouterr().out
+    assert "geomean speedup" in printed
+
+    report = json.loads(out_path.read_text())
+    assert report["experiment"] == "fig8"
+    assert report["wall_clock_seconds"] > 0
+    assert set(report["geomean"]) == {"mapping", "no_spec", "spec"}
+    assert len(report["per_benchmark"]) == 11
+    assert "disk" in report["cache"]
+    assert "predict_memo_hits" in report["cache"]
+
+
+def test_bench_command_no_cache(tmp_path, capsys):
+    import repro.harness.diskcache as diskcache
+
+    out_path = tmp_path / "bench.json"
+    try:
+        assert main(["bench", "--scale", "0.05", "--no-cache",
+                     "--output", str(out_path)]) == 0
+    finally:
+        diskcache.configure()
+    report = json.loads(out_path.read_text())
+    assert report["disk_cache_enabled"] is False
