@@ -6,15 +6,21 @@ Usage::
     python -m repro run KM [--scale 0.5] [--mode accelerate]
                            [--no-speculation] [--fabrics 2]
                            [--trace-length 32] [--json]
-    python -m repro bench [--scale 1.0] [--jobs 4] [--no-cache]
+    python -m repro bench [--scale 1.0] [--jobs 4] [--no-cache] [--cold]
                           [--output BENCH_speedup.json]
+    python -m repro serve [--port 8763] [--workers 2] [--queue-depth 64]
+    python -m repro submit KM [--scale 0.5] [--wait] [--port 8763]
     python -m repro harness fig8 [--scale 1.0] [--jobs 4]  # = repro.harness
 
 ``run`` simulates one benchmark on the baseline core and the DynaSpAM
 machine and reports speedup, coverage, trace statistics, and the energy
 ledger — as a human-readable summary or a JSON document for scripting.
 ``bench`` times the full Figure 8 sweep and writes a machine-readable
-speedup/timing report so the performance trajectory is tracked PR over PR.
+speedup/timing report so the performance trajectory is tracked PR over PR
+(``--cold`` bypasses the caches so the timing measures real simulation).
+``serve`` starts the simulation-as-a-service HTTP server and ``submit``
+sends it a job; ``submit --wait`` prints the same JSON ``run --json``
+does, resolved through the server's queue and caches.
 """
 
 from __future__ import annotations
@@ -24,13 +30,30 @@ import json
 import sys
 import time
 
-from repro.core import DynaSpAM, DynaSpAMConfig
-from repro.energy import EnergyModel
-from repro.ooo.pipeline import OOOPipeline
-from repro.workloads import ALL_ABBREVS, BENCHMARKS, generate_trace
+
+def _fail(message: str) -> int:
+    """One-line diagnostic on stderr + conventional usage-error exit code."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _validate_run_args(args) -> str | None:
+    """Canonical benchmark on success, ``None`` after printing an error."""
+    from repro.service.errors import InvalidJob
+    from repro.service.jobs import validate_benchmark, validate_scale
+
+    try:
+        benchmark = validate_benchmark(args.benchmark)
+        validate_scale(args.scale)
+    except InvalidJob as exc:
+        _fail(str(exc))
+        return None
+    return benchmark
 
 
 def cmd_list(_args) -> int:
+    from repro.workloads import ALL_ABBREVS, BENCHMARKS
+
     print(f"{'abbrev':>7}  {'name':<22} {'domain':<20} kernel")
     for abbrev in ALL_ABBREVS:
         bench = BENCHMARKS[abbrev]
@@ -40,60 +63,36 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    if args.benchmark not in BENCHMARKS:
-        print(f"unknown benchmark {args.benchmark!r}; try `python -m repro list`",
-              file=sys.stderr)
-        return 2
-    run = generate_trace(args.benchmark, args.scale)
-    baseline = OOOPipeline().run_trace(run.trace)
-    machine = DynaSpAM(
-        ds_config=DynaSpAMConfig(
-            mode=args.mode,
-            speculation=not args.no_speculation,
-            trace_length=args.trace_length,
-            num_fabrics=args.fabrics,
-        )
-    )
-    result = machine.run(run.trace, run.program)
-    model = EnergyModel()
-    base_energy = model.breakdown(baseline.stats)
-    dyna_energy = model.breakdown(result.stats)
+    from repro.harness.runner import simulation_report
 
-    report = {
-        "benchmark": args.benchmark,
-        "scale": args.scale,
-        "mode": args.mode,
-        "speculation": not args.no_speculation,
-        "dynamic_instructions": run.dynamic_count,
-        "baseline_cycles": baseline.cycles,
-        "dynaspam_cycles": result.cycles,
-        "speedup": baseline.cycles / result.cycles if result.cycles else 0.0,
-        "coverage": result.coverage,
-        "mapped_traces": result.mapped_traces,
-        "offloaded_traces": result.offloaded_traces,
-        "fabric_invocations": result.stats.fabric_invocations,
-        "mean_configuration_lifetime": result.mean_lifetime,
-        "squashes": result.squashes,
-        "reconfigurations": result.reconfigurations,
-        "energy_reduction": dyna_energy.reduction_vs(base_energy),
-        "energy_components_normalized": dyna_energy.normalized_to(base_energy),
-    }
+    benchmark = _validate_run_args(args)
+    if benchmark is None:
+        return 2
+    report = simulation_report(
+        benchmark,
+        args.scale,
+        mode=args.mode,
+        speculation=not args.no_speculation,
+        trace_length=args.trace_length,
+        num_fabrics=args.fabrics,
+    )
     if args.json:
         print(json.dumps(report, indent=2))
         return 0
 
-    cov = result.coverage
-    print(f"{args.benchmark}: {run.dynamic_count} dynamic instructions "
-          f"at scale {args.scale}")
-    print(f"  baseline  {baseline.cycles:>9} cycles (IPC {baseline.ipc:.2f})")
-    print(f"  DynaSpAM  {result.cycles:>9} cycles "
+    cov = report["coverage"]
+    print(f"{benchmark}: {report['dynamic_instructions']} dynamic "
+          f"instructions at scale {args.scale}")
+    print(f"  baseline  {report['baseline_cycles']:>9} cycles "
+          f"(IPC {report['baseline_ipc']:.2f})")
+    print(f"  DynaSpAM  {report['dynaspam_cycles']:>9} cycles "
           f"(speedup {report['speedup']:.2f}x)")
     print(f"  coverage  host {cov['host']:.1%} | mapping "
           f"{cov['mapping']:.1%} | fabric {cov['fabric']:.1%}")
-    print(f"  traces    {result.mapped_traces} mapped, "
-          f"{result.offloaded_traces} offloaded, "
-          f"{result.stats.fabric_invocations} invocations, "
-          f"lifetime {result.mean_lifetime:.0f}")
+    print(f"  traces    {report['mapped_traces']} mapped, "
+          f"{report['offloaded_traces']} offloaded, "
+          f"{report['fabric_invocations']} invocations, "
+          f"lifetime {report['mean_configuration_lifetime']:.0f}")
     print(f"  energy    {report['energy_reduction']:.1%} reduction")
     return 0
 
@@ -102,19 +101,34 @@ def cmd_bench(args) -> int:
     """Timed Figure 8 sweep -> machine-readable speedup/timing report."""
     import repro.harness.diskcache as diskcache
     from repro.harness import figure8_performance
+    from repro.harness.__main__ import apply_cache_arguments
     from repro.harness.profiling import PROFILER
 
-    if args.no_cache:
+    apply_cache_arguments(args)
+    if args.cold:
+        # A cold benchmark measures simulation, not cache replay: no
+        # disk layer, and the in-process run/trace caches start empty.
+        from repro.harness.runner import clear_run_cache
+        from repro.workloads.suite import clear_trace_cache
+
         diskcache.configure(enabled=False)
+        clear_run_cache()
+        clear_trace_cache()
+    PROFILER.reset()
     started = time.perf_counter()
     result = figure8_performance(args.scale, jobs=args.jobs)
     wall_clock = time.perf_counter() - started
 
     cache_stats = diskcache.shared_stats()
+    memory_hits = PROFILER.counters.get("run_cache_memory_hits", 0)
+    disk_hits = sum(ns.get("hits", 0) for ns in cache_stats.values())
+    runs_simulated = PROFILER.counters.get("runs_simulated", 0)
+    served = memory_hits + disk_hits
     report = {
         "experiment": "fig8",
         "scale": args.scale,
         "jobs": args.jobs,
+        "cold": bool(args.cold),
         "disk_cache_enabled": diskcache.is_enabled(),
         "wall_clock_seconds": wall_clock,
         "geomean": {
@@ -124,7 +138,9 @@ def cmd_bench(args) -> int:
         "per_benchmark": result.speedups,
         "cache": {
             "disk": cache_stats,
-            "memory_hits": PROFILER.counters.get("run_cache_memory_hits", 0),
+            "memory_hits": memory_hits,
+            "runs_simulated": runs_simulated,
+            "hit_ratio": served / max(1, served + runs_simulated),
             "predict_memo_hits": PROFILER.counters.get(
                 "predict_memo_hits", 0),
             "predict_memo_misses": PROFILER.counters.get(
@@ -136,7 +152,9 @@ def cmd_bench(args) -> int:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"geomean speedup (spec) {report['geomean']['spec']:.2f}x | "
-          f"wall clock {wall_clock:.2f}s | report -> {args.output}")
+          f"wall clock {wall_clock:.2f}s | "
+          f"cache hit ratio {report['cache']['hit_ratio']:.0%}"
+          f"{' (cold)' if args.cold else ''} | report -> {args.output}")
     if args.profile:
         from repro.harness.__main__ import print_profile
 
@@ -144,29 +162,120 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service.server import run_server
+
+    if args.workers < 1:
+        return _fail(f"invalid --workers {args.workers}: must be >= 1")
+    if args.queue_depth < 1:
+        return _fail(f"invalid --queue-depth {args.queue_depth}: "
+                     "must be >= 1")
+    return run_server(
+        args.host,
+        args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        sim_jobs=args.jobs or 1,
+    )
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import (
+        JobFailed,
+        ServerBusy,
+        ServiceClient,
+        ServiceUnreachable,
+    )
+
+    benchmark = _validate_run_args(args)
+    if benchmark is None:
+        return 2
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        job = client.submit(
+            benchmark,
+            scale=args.scale,
+            mode=args.mode,
+            speculation=not args.no_speculation,
+            trace_length=args.trace_length,
+            fabrics=args.fabrics,
+        )
+        if not args.wait:
+            print(json.dumps({"job": job}, indent=2))
+            return 0
+        final = client.wait(job["id"], timeout=args.timeout)
+    except ServerBusy as exc:
+        print(f"repro: server busy: {exc} (retry after {exc.retry_after}s)",
+              file=sys.stderr)
+        return 1
+    except ServiceUnreachable as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    except JobFailed as exc:
+        print(f"repro: job failed: {exc}", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(final["result"], indent=2))
+    return 0
+
+
+def _add_run_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("benchmark")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--mode", default="accelerate",
+                        choices=["baseline", "mapping_only", "accelerate"])
+    parser.add_argument("--no-speculation", action="store_true")
+    parser.add_argument("--fabrics", type=int, default=1)
+    parser.add_argument("--trace-length", type=int, default=32)
+
+
 def main(argv=None) -> int:
+    from repro.harness.__main__ import add_cache_arguments
+    from repro.service.server import DEFAULT_PORT
+
     parser = argparse.ArgumentParser(prog="python -m repro")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available benchmarks")
 
     run_parser = sub.add_parser("run", help="simulate one benchmark")
-    run_parser.add_argument("benchmark")
-    run_parser.add_argument("--scale", type=float, default=1.0)
-    run_parser.add_argument("--mode", default="accelerate",
-                            choices=["baseline", "mapping_only", "accelerate"])
-    run_parser.add_argument("--no-speculation", action="store_true")
-    run_parser.add_argument("--fabrics", type=int, default=1)
-    run_parser.add_argument("--trace-length", type=int, default=32)
+    _add_run_knobs(run_parser)
     run_parser.add_argument("--json", action="store_true")
-
-    from repro.harness.__main__ import add_cache_arguments
 
     bench_parser = sub.add_parser(
         "bench", help="timed Figure 8 sweep with a JSON report")
     bench_parser.add_argument("--scale", type=float, default=1.0)
     bench_parser.add_argument("--output", default="BENCH_speedup.json")
+    bench_parser.add_argument(
+        "--cold", action="store_true",
+        help="bypass the run/disk caches so timing measures simulation")
     add_cache_arguments(bench_parser)
+
+    serve_parser = sub.add_parser(
+        "serve", help="start the simulation job server")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                              help="listen port (0 picks a free port)")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="concurrent simulation worker threads")
+    serve_parser.add_argument("--queue-depth", type=int, default=64,
+                              help="max open (queued + running) jobs")
+    serve_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                              help="process fan-out per batch "
+                                   "(default: in-worker serial)")
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit one benchmark job to a running server")
+    _add_run_knobs(submit_parser)
+    submit_parser.add_argument("--host", default="127.0.0.1")
+    submit_parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="poll to completion and print the "
+                                    "run report JSON")
+    submit_parser.add_argument("--timeout", type=float, default=600.0,
+                               help="submit/wait deadline in seconds")
 
     harness_parser = sub.add_parser("harness",
                                     help="regenerate evaluation artifacts")
@@ -181,6 +290,10 @@ def main(argv=None) -> int:
         return cmd_run(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "submit":
+        return cmd_submit(args)
     from repro.harness.__main__ import main as harness_main
 
     forwarded = [args.experiment, "--scale", str(args.scale)]

@@ -12,10 +12,16 @@ from repro.harness.runner import (
     dynaspam_spec,
     run_baseline,
     run_dynaspam,
+    simulation_report,
     RunKey,
     RunSpec,
 )
-from repro.harness.parallel import default_jobs, execute_runs, warm_cache
+from repro.harness.parallel import (
+    default_jobs,
+    execute_runs,
+    max_jobs,
+    warm_cache,
+)
 from repro.harness.experiments import (
     figure7_coverage,
     figure8_performance,
@@ -35,8 +41,10 @@ __all__ = [
     "figure7_coverage",
     "figure8_performance",
     "figure9_energy",
+    "max_jobs",
     "run_baseline",
     "run_dynaspam",
+    "simulation_report",
     "RunKey",
     "RunSpec",
     "table3_benchmarks",

@@ -26,8 +26,11 @@ def _characterization(scale: float) -> str:
 
 def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     """The shared performance flags (also used by ``python -m repro``)."""
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="fan independent runs out over N processes")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan independent runs out over N processes "
+             "(default: cpu count, clamped to 8 under CI; "
+             "REPRO_MAX_JOBS caps both)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk trace/result cache")
     parser.add_argument("--profile", action="store_true",
@@ -35,8 +38,12 @@ def add_cache_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def apply_cache_arguments(args) -> None:
+    from repro.harness.parallel import default_jobs
+
     if args.no_cache:
         diskcache.configure(enabled=False)
+    if args.jobs is None:
+        args.jobs = default_jobs()
 
 
 def print_profile() -> None:

@@ -28,8 +28,37 @@ from repro.harness.runner import (
 )
 
 
+#: Hard cap on worker processes (overrides the CI clamp and the CLI).
+ENV_MAX_JOBS = "REPRO_MAX_JOBS"
+
+#: Small CI runners advertise many cores but can't feed them; fanning a
+#: process pool that wide just thrashes.  Clamp the *default* there.
+CI_JOBS_CLAMP = 8
+
+
+def max_jobs() -> int | None:
+    """The ``REPRO_MAX_JOBS`` cap, or ``None`` when unset/invalid."""
+    raw = os.environ.get(ENV_MAX_JOBS)
+    if not raw:
+        return None
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return None
+
+
 def default_jobs() -> int:
-    return os.cpu_count() or 1
+    """Worker-count default: cpu count, clamped to 8 in CI environments.
+
+    ``REPRO_MAX_JOBS`` overrides both the cpu count and the CI clamp.
+    """
+    jobs = os.cpu_count() or 1
+    if os.environ.get("CI"):
+        jobs = min(jobs, CI_JOBS_CLAMP)
+    cap = max_jobs()
+    if cap is not None:
+        jobs = min(jobs, cap)
+    return jobs
 
 
 def _worker_batch(
@@ -69,6 +98,9 @@ def execute_runs(
     pending = [spec for key, spec in unique.items() if key not in results]
 
     jobs = jobs or 1
+    cap = max_jobs()
+    if cap is not None:
+        jobs = min(jobs, cap)
     if jobs <= 1 or len(pending) <= 1:
         for spec in pending:
             results[spec.key] = execute_spec(spec)

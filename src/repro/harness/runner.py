@@ -169,6 +169,7 @@ def execute_spec(spec: RunSpec):
     cached = peek_cached(key)
     if cached is not None:
         return cached
+    PROFILER.bump("runs_simulated")
     result = _simulate(spec)
     _RUN_CACHE[key] = result
     disk = diskcache.shared_cache("runs")
@@ -216,6 +217,56 @@ def run_dynaspam(
             core_config=core_config, fabric_config=fabric_config,
         )
     )
+
+
+def simulation_report(
+    abbrev: str,
+    scale: float = 1.0,
+    *,
+    mode: str = "accelerate",
+    speculation: bool = True,
+    trace_length: int = 32,
+    num_fabrics: int = 1,
+    mapper: str = "resource_aware",
+) -> dict:
+    """Baseline-vs-DynaSpAM comparison for one benchmark, as a JSON dict.
+
+    This is the shared report builder behind ``repro run --json`` and
+    the service's job results — both resolve through the layered run
+    caches, so a served job and a CLI run of the same spec are not just
+    equal but the very same cached simulation.
+    """
+    from repro.energy import EnergyModel
+
+    run = generate_trace(abbrev, scale)
+    baseline = run_baseline(abbrev, scale)
+    result = run_dynaspam(
+        abbrev, scale, mode=mode, speculation=speculation,
+        trace_length=trace_length, num_fabrics=num_fabrics, mapper=mapper,
+    )
+    model = EnergyModel()
+    base_energy = model.breakdown(baseline.stats)
+    dyna_energy = model.breakdown(result.stats)
+    return {
+        "benchmark": abbrev,
+        "scale": scale,
+        "mode": mode,
+        "speculation": speculation,
+        "dynamic_instructions": run.dynamic_count,
+        "baseline_cycles": baseline.cycles,
+        "baseline_ipc": baseline.ipc,
+        "dynaspam_cycles": result.cycles,
+        "speedup": baseline.cycles / result.cycles if result.cycles else 0.0,
+        "coverage": result.coverage,
+        "mapped_traces": result.mapped_traces,
+        "offloaded_traces": result.offloaded_traces,
+        "fabric_invocations": result.stats.fabric_invocations,
+        "mean_configuration_lifetime": result.mean_lifetime,
+        "squashes": result.squashes,
+        "reconfigurations": result.reconfigurations,
+        "energy_reduction": dyna_energy.reduction_vs(base_energy),
+        "energy_components_normalized": dyna_energy.normalized_to(base_energy),
+    }
 
 
 def geomean(values) -> float:

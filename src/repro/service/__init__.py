@@ -1,0 +1,46 @@
+"""Simulation-as-a-service: an async HTTP job layer over the harness.
+
+The service turns the PR-1 compute substrate (``repro.harness.runner``'s
+layered caches and ``repro.harness.parallel``'s process fan-out) into a
+long-lived server that many clients can share:
+
+* ``jobs``      — the validated job request/record model,
+* ``queue``     — bounded admission-controlled job queue (429 on overload),
+* ``scheduler`` — batches queued jobs, single-flights duplicates, and
+  executes them on a bounded worker pool,
+* ``metrics``   — counters and a latency ring buffer (p50/p99),
+* ``server``    — the asyncio HTTP/1.1 front end (stdlib only),
+* ``client``    — a small blocking Python client.
+
+Start one with ``python -m repro serve`` and talk to it with
+``python -m repro submit`` or :class:`repro.service.client.ServiceClient`.
+"""
+
+from repro.service.errors import (
+    Draining,
+    InvalidJob,
+    QueueFull,
+    ServiceError,
+    UnknownJob,
+)
+from repro.service.jobs import Job, JobRequest, JobState
+from repro.service.queue import JobQueue
+from repro.service.client import JobFailed, ServerBusy, ServiceClient
+from repro.service.server import ServiceServer, ThreadedServer
+
+__all__ = [
+    "Draining",
+    "InvalidJob",
+    "Job",
+    "JobFailed",
+    "JobQueue",
+    "JobRequest",
+    "JobState",
+    "QueueFull",
+    "ServerBusy",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ThreadedServer",
+    "UnknownJob",
+]

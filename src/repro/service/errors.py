@@ -1,0 +1,54 @@
+"""Typed service errors with stable wire codes.
+
+Every error the HTTP layer can return maps to one exception class; the
+``code`` travels in the JSON error body and the ``http_status`` picks
+the response status line, so clients can switch on either.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class: an error with a wire code and an HTTP status."""
+
+    code = "internal_error"
+    http_status = 500
+
+    def to_doc(self) -> dict:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+class InvalidJob(ServiceError):
+    """The job payload failed validation (unknown benchmark, bad scale...)."""
+
+    code = "invalid_request"
+    http_status = 400
+
+
+class QueueFull(ServiceError):
+    """Admission control rejected the job: too many open jobs.
+
+    ``retry_after`` is the server's backoff hint in seconds; the HTTP
+    layer surfaces it as a ``Retry-After`` header.
+    """
+
+    code = "queue_full"
+    http_status = 429
+
+    def __init__(self, message: str, retry_after: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
+class Draining(ServiceError):
+    """The server is shutting down and no longer admits jobs."""
+
+    code = "draining"
+    http_status = 503
+
+
+class UnknownJob(ServiceError):
+    """No such job id (never existed, or evicted from retention)."""
+
+    code = "unknown_job"
+    http_status = 404

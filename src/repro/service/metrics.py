@@ -1,0 +1,111 @@
+"""Service counters and latency percentiles from a bounded ring buffer.
+
+Latency samples live in a fixed-size ``deque`` — the service never keeps
+an unbounded history — and percentiles use the nearest-rank method over
+a sorted copy, which is exact for the ring's window.  Cache hit/miss
+numbers are read straight from the harness layers (the run cache's
+profiler counters and the disk cache's per-namespace stats) so the
+service reports the same counters ``repro bench`` does.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+
+
+class LatencyRing:
+    """Fixed-capacity ring of latency samples with exact window percentiles."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self._samples: deque[float] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @staticmethod
+    def _nearest_rank(ordered: list[float], pct: float) -> float:
+        rank = math.ceil(pct / 100.0 * len(ordered))
+        return ordered[max(0, min(len(ordered) - 1, rank - 1))]
+
+    def summary(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return {"count": 0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": len(ordered),
+            "p50": self._nearest_rank(ordered, 50),
+            "p90": self._nearest_rank(ordered, 90),
+            "p99": self._nearest_rank(ordered, 99),
+            "max": ordered[-1],
+        }
+
+
+class ServiceMetrics:
+    """Monotonic counters + latency ring; snapshots merge harness stats."""
+
+    def __init__(self, latency_capacity: int = 2048) -> None:
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self.latency = LatencyRing(latency_capacity)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency.observe(seconds)
+
+    def retry_after_hint(self, open_jobs: int, workers: int) -> int:
+        """Seconds a rejected client should back off before retrying."""
+        p50 = self.latency.summary()["p50"]
+        if p50 <= 0:
+            return 1
+        backlog_rounds = max(1, open_jobs) / max(1, workers)
+        return max(1, int(p50 * backlog_rounds + 0.5))
+
+    @staticmethod
+    def cache_stats() -> dict:
+        import repro.harness.diskcache as diskcache
+        from repro.harness.profiling import PROFILER
+
+        return {
+            "run_memory_hits": PROFILER.counters.get(
+                "run_cache_memory_hits", 0),
+            "runs_simulated": PROFILER.counters.get("runs_simulated", 0),
+            "disk": diskcache.shared_stats(),
+        }
+
+    def snapshot(self, queue=None, scheduler=None) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+        doc = {
+            "uptime_seconds": time.time() - self.started_at,
+            "jobs": {
+                "submitted": counters.get("submitted", 0),
+                "rejected": counters.get("rejected", 0),
+                "completed": counters.get("completed", 0),
+                "failed": counters.get("failed", 0),
+                "coalesced": counters.get("coalesced", 0),
+            },
+            "latency_seconds": self.latency.summary(),
+            "cache": self.cache_stats(),
+        }
+        if queue is not None:
+            doc["queue"] = queue.stats()
+        if scheduler is not None:
+            doc["flights_in_flight"] = scheduler.in_flight()
+        return doc

@@ -1,0 +1,197 @@
+"""Batching scheduler: queue -> single-flight dedup -> worker pool.
+
+The dispatch loop pulls queued jobs in batches, coalesces jobs whose
+``flight_key`` matches an in-flight execution (single-flight: the
+duplicate attaches to the leader's flight and never simulates), and
+hands each batch of *new* flights to a bounded ``ThreadPoolExecutor``.
+
+Inside a worker the batch first warms the harness caches through
+``repro.harness.parallel`` — one ``execute_runs`` call over the union of
+the batch's ``RunSpec``s, optionally fanning out over ``sim_jobs``
+processes — and then builds each request's report from what are now
+pure cache hits.  Repeat requests across batches short-circuit the same
+way: the layered run caches serve them without re-simulating.
+
+Everything that mutates queue/flight state runs on the event loop
+thread; worker threads only execute pure simulation code.  That keeps
+the state machine race-free without fine-grained locking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service.jobs import Job, JobRequest
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import JobQueue
+
+
+class Flight:
+    """One in-flight execution shared by every job with the same key."""
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+        self.jobs: list[Job] = []
+
+
+class FlightTable:
+    """Single-flight registry keyed by ``JobRequest.flight_key``."""
+
+    def __init__(self) -> None:
+        self._flights: dict[tuple, Flight] = {}
+
+    def lease(self, key: tuple) -> tuple[Flight, bool]:
+        """The flight for ``key`` plus whether the caller is its leader."""
+        flight = self._flights.get(key)
+        if flight is not None:
+            return flight, False
+        flight = Flight(key)
+        self._flights[key] = flight
+        return flight, True
+
+    def land(self, key: tuple) -> None:
+        self._flights.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._flights
+
+
+def execute_batch(requests: list[JobRequest], sim_jobs: int = 1) -> dict:
+    """Resolve one batch of deduplicated requests (runs in a worker thread).
+
+    Returns ``{flight_key: ("ok", report) | ("error", message)}`` — a
+    failure in one request never poisons its batchmates.
+    """
+    from repro.harness.parallel import warm_cache
+
+    specs = [spec for request in requests for spec in request.specs()]
+    if sim_jobs > 1:
+        try:
+            warm_cache(specs, jobs=sim_jobs)
+        except Exception:
+            # Fall through: per-request execution surfaces the real error.
+            pass
+    out: dict[tuple, tuple[str, object]] = {}
+    for request in requests:
+        try:
+            out[request.flight_key] = ("ok", request.execute())
+        except Exception as exc:  # noqa: BLE001 — report, don't crash the pool
+            out[request.flight_key] = ("error", f"{type(exc).__name__}: {exc}")
+    return out
+
+
+class Scheduler:
+    """Owns the dispatch loop, the flight table, and the worker pool."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        metrics: ServiceMetrics,
+        *,
+        workers: int = 2,
+        sim_jobs: int = 1,
+        max_batch: int = 8,
+        execute_batch_fn=None,
+    ) -> None:
+        self.queue = queue
+        self.metrics = metrics
+        self.workers = max(1, workers)
+        self.sim_jobs = max(1, sim_jobs)
+        self.max_batch = max(1, max_batch)
+        self._execute_batch = execute_batch_fn or execute_batch
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-sim"
+        )
+        self.flights = FlightTable()
+        self._wakeup = asyncio.Event()
+        self._tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._loop_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._loop_task = asyncio.get_running_loop().create_task(self._run())
+
+    def wake(self) -> None:
+        self._wakeup.set()
+
+    def in_flight(self) -> int:
+        return len(self.flights)
+
+    async def drain(self) -> None:
+        """Stop dispatching new work once the queue and flights are empty."""
+        self._draining = True
+        self.wake()
+        if self._loop_task is not None:
+            await self._loop_task
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        while True:
+            batch = self.queue.next_batch(self.max_batch)
+            if batch:
+                self._dispatch(batch)
+                continue
+            if self._draining and self.queue.queued_count() == 0:
+                if self._tasks:
+                    await asyncio.wait(set(self._tasks))
+                    continue
+                break
+            self._wakeup.clear()
+            try:
+                await asyncio.wait_for(self._wakeup.wait(), timeout=0.1)
+            except asyncio.TimeoutError:
+                pass
+
+    def _dispatch(self, batch: list[Job]) -> None:
+        new_flights: list[Flight] = []
+        for job in batch:
+            flight, leader = self.flights.lease(job.request.flight_key)
+            flight.jobs.append(job)
+            if leader:
+                new_flights.append(flight)
+            else:
+                job.coalesced = True
+                self.metrics.bump("coalesced")
+        if new_flights:
+            task = asyncio.get_running_loop().create_task(
+                self._run_flights(new_flights)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_flights(self, flights: list[Flight]) -> None:
+        requests = [flight.jobs[0].request for flight in flights]
+        loop = asyncio.get_running_loop()
+        try:
+            outcomes = await loop.run_in_executor(
+                self._pool, self._execute_batch, requests, self.sim_jobs
+            )
+        except Exception as exc:  # pool broken / executor-level failure
+            outcomes = {
+                flight.key: ("error", f"{type(exc).__name__}: {exc}")
+                for flight in flights
+            }
+        now = time.time()
+        for flight in flights:
+            # Land before completing so a post-completion duplicate
+            # starts a fresh flight (and is then served by the caches).
+            self.flights.land(flight.key)
+            status, value = outcomes.get(
+                flight.key, ("error", "executor returned no outcome")
+            )
+            for job in flight.jobs:
+                if status == "ok":
+                    self.queue.finish(job.id, value)
+                    self.metrics.bump("completed")
+                else:
+                    self.queue.fail(job.id, str(value))
+                    self.metrics.bump("failed")
+                self.metrics.observe_latency(now - job.created_at)
+        self.wake()

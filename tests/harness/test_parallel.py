@@ -79,3 +79,35 @@ def test_jobs_one_runs_serially(no_disk):
 
 def test_default_jobs_positive():
     assert default_jobs() >= 1
+
+
+def test_default_jobs_ci_clamp(monkeypatch):
+    import os
+
+    from repro.harness.parallel import CI_JOBS_CLAMP
+
+    monkeypatch.delenv("REPRO_MAX_JOBS", raising=False)
+    monkeypatch.setenv("CI", "true")
+    assert default_jobs() == min(os.cpu_count() or 1, CI_JOBS_CLAMP)
+    monkeypatch.delenv("CI")
+    assert default_jobs() == (os.cpu_count() or 1)
+
+
+def test_repro_max_jobs_caps_default(monkeypatch):
+    monkeypatch.delenv("CI", raising=False)
+    monkeypatch.setenv("REPRO_MAX_JOBS", "1")
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_MAX_JOBS", "0")   # floor at 1
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_MAX_JOBS", "totally-bogus")  # ignored
+    assert default_jobs() >= 1
+
+
+def test_repro_max_jobs_caps_explicit_fanout(no_disk, monkeypatch):
+    # With the cap at 1, an explicit jobs=8 sweep must run serially —
+    # identical results, no process pool on an oversubscribed runner.
+    monkeypatch.setenv("REPRO_MAX_JOBS", "1")
+    clear_run_cache()
+    specs = [dynaspam_spec("KM", SCALE), dynaspam_spec("BFS", SCALE)]
+    results = execute_runs(specs, jobs=8)
+    assert set(results) == {spec.key for spec in specs}

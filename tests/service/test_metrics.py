@@ -1,0 +1,57 @@
+"""Tests for the latency ring buffer and metrics snapshots."""
+
+from repro.service.metrics import LatencyRing, ServiceMetrics
+from repro.service.queue import JobQueue
+
+
+def test_empty_ring_summary_is_zeroes():
+    summary = LatencyRing().summary()
+    assert summary == {"count": 0, "p50": 0.0, "p90": 0.0,
+                       "p99": 0.0, "max": 0.0}
+
+
+def test_nearest_rank_percentiles():
+    ring = LatencyRing()
+    for value in range(1, 101):  # 1..100
+        ring.observe(float(value))
+    summary = ring.summary()
+    assert summary["count"] == 100
+    assert summary["p50"] == 50.0
+    assert summary["p90"] == 90.0
+    assert summary["p99"] == 99.0
+    assert summary["max"] == 100.0
+
+
+def test_ring_is_bounded():
+    ring = LatencyRing(capacity=4)
+    for value in range(100):
+        ring.observe(float(value))
+    summary = ring.summary()
+    assert summary["count"] == 4
+    assert summary["max"] == 99.0
+    assert summary["p50"] == 97.0  # only the last four samples remain
+
+
+def test_retry_after_scales_with_backlog():
+    metrics = ServiceMetrics()
+    assert metrics.retry_after_hint(open_jobs=4, workers=2) == 1
+    for _ in range(10):
+        metrics.observe_latency(3.0)
+    assert metrics.retry_after_hint(open_jobs=4, workers=2) == 6
+    assert metrics.retry_after_hint(open_jobs=1, workers=4) >= 1
+
+
+def test_snapshot_shape_includes_queue_and_cache():
+    metrics = ServiceMetrics()
+    metrics.bump("submitted", 3)
+    metrics.bump("completed", 2)
+    metrics.observe_latency(0.5)
+    queue = JobQueue(depth=7)
+    snapshot = metrics.snapshot(queue=queue)
+    assert snapshot["jobs"]["submitted"] == 3
+    assert snapshot["jobs"]["completed"] == 2
+    assert snapshot["queue"]["capacity"] == 7
+    assert snapshot["latency_seconds"]["count"] == 1
+    assert "run_memory_hits" in snapshot["cache"]
+    assert "runs_simulated" in snapshot["cache"]
+    assert snapshot["uptime_seconds"] >= 0

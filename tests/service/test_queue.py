@@ -1,0 +1,310 @@
+"""Unit tests for the job model, admission control, and single-flight.
+
+Everything here is socket-free: the queue and flight table are plain
+state machines, and the scheduler runs against a stubbed executor so
+coalescing and failure paths are exercised deterministically.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service.errors import Draining, InvalidJob, QueueFull, UnknownJob
+from repro.service.jobs import Job, JobRequest, JobState
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import JobQueue
+from repro.service.scheduler import FlightTable, Scheduler
+
+
+# ---------------------------------------------------------------------------
+# JobRequest validation and identity
+# ---------------------------------------------------------------------------
+def test_request_canonicalizes_benchmark_case():
+    assert JobRequest("km").benchmark == "KM"
+    assert JobRequest(" bfs ").benchmark == "BFS"
+
+
+def test_request_rejects_unknown_benchmark():
+    with pytest.raises(InvalidJob, match="unknown benchmark"):
+        JobRequest("NOPE")
+
+
+@pytest.mark.parametrize("scale", [0.0, -1.0, float("nan"),
+                                   float("inf"), 17.0, "abc", None])
+def test_request_rejects_bad_scale(scale):
+    with pytest.raises(InvalidJob):
+        JobRequest("KM", scale=scale)
+
+
+def test_request_rejects_bad_knobs():
+    with pytest.raises(InvalidJob, match="mode"):
+        JobRequest("KM", mode="warp_speed")
+    with pytest.raises(InvalidJob, match="mapper"):
+        JobRequest("KM", mapper="psychic")
+    with pytest.raises(InvalidJob, match="trace_length"):
+        JobRequest("KM", trace_length=0)
+    with pytest.raises(InvalidJob, match="fabrics"):
+        JobRequest("KM", fabrics=9)
+    with pytest.raises(InvalidJob, match="speculation"):
+        JobRequest("KM", speculation="yes")
+
+
+def test_from_payload_rejects_junk():
+    with pytest.raises(InvalidJob, match="JSON object"):
+        JobRequest.from_payload(["KM"])
+    with pytest.raises(InvalidJob, match="missing required"):
+        JobRequest.from_payload({"scale": 0.5})
+    with pytest.raises(InvalidJob, match="unknown field"):
+        JobRequest.from_payload({"benchmark": "KM", "frobnicate": 1})
+
+
+def test_flight_key_is_cache_identity():
+    a = JobRequest("km", scale=0.5)
+    b = JobRequest("KM", scale=0.5)
+    c = JobRequest("KM", scale=0.5, speculation=False)
+    assert a.flight_key == b.flight_key
+    assert a.flight_key != c.flight_key
+    assert a.flight_key != JobRequest("BFS", scale=0.5).flight_key
+
+
+# ---------------------------------------------------------------------------
+# Queue admission control and transitions
+# ---------------------------------------------------------------------------
+def _request() -> JobRequest:
+    return JobRequest("KM", scale=0.05)
+
+
+def test_admission_counts_open_jobs():
+    queue = JobQueue(depth=2)
+    queue.submit(_request())
+    queue.submit(_request())
+    with pytest.raises(QueueFull):
+        queue.submit(_request())
+    assert queue.rejected_total == 1
+
+    # Moving jobs to running does NOT free capacity: depth bounds
+    # queued + running, the real backpressure contract.
+    batch = queue.next_batch(10)
+    assert len(batch) == 2
+    assert queue.queued_count() == 0
+    with pytest.raises(QueueFull):
+        queue.submit(_request())
+
+    queue.finish(batch[0].id, {"ok": True})
+    queue.submit(_request())  # capacity freed by completion
+
+
+def test_lifecycle_transitions():
+    queue = JobQueue(depth=4)
+    job = queue.submit(_request())
+    assert job.state == JobState.QUEUED
+    assert job.started_at is None
+
+    (running,) = queue.next_batch(1)
+    assert running is job
+    assert job.state == JobState.RUNNING
+    assert job.started_at is not None
+
+    queue.finish(job.id, {"speedup": 2.0})
+    assert job.state == JobState.DONE
+    assert job.result == {"speedup": 2.0}
+    assert job.finished_at is not None
+    assert queue.done_total == 1
+
+    failed = queue.submit(_request())
+    queue.next_batch(1)
+    queue.fail(failed.id, "boom")
+    assert failed.state == JobState.FAILED
+    assert failed.error == "boom"
+    assert queue.failed_total == 1
+
+
+def test_invalid_transitions_and_unknown_ids():
+    queue = JobQueue(depth=4)
+    job = queue.submit(_request())
+    with pytest.raises(ValueError, match="cannot move"):
+        queue.finish(job.id, {})  # still queued, never ran
+    with pytest.raises(UnknownJob):
+        queue.get("job-missing")
+    with pytest.raises(UnknownJob):
+        queue.finish("job-missing", {})
+
+
+def test_retention_evicts_oldest_finished():
+    queue = JobQueue(depth=8, retention=2)
+    finished = []
+    for _ in range(4):
+        job = queue.submit(_request())
+        queue.next_batch(1)
+        queue.finish(job.id, {})
+        finished.append(job.id)
+    assert queue.evicted_total == 2
+    for evicted in finished[:2]:
+        with pytest.raises(UnknownJob):
+            queue.get(evicted)
+    for kept in finished[2:]:
+        assert queue.get(kept).state == JobState.DONE
+
+
+def test_closed_queue_drains_but_rejects():
+    queue = JobQueue(depth=4)
+    job = queue.submit(_request())
+    queue.close()
+    with pytest.raises(Draining):
+        queue.submit(_request())
+    # Already-admitted work still drains normally.
+    queue.next_batch(1)
+    queue.finish(job.id, {})
+    assert queue.is_idle()
+
+
+# ---------------------------------------------------------------------------
+# Single-flight
+# ---------------------------------------------------------------------------
+def test_flight_table_lease_and_land():
+    table = FlightTable()
+    flight, leader = table.lease(("k",))
+    assert leader and len(table) == 1
+    again, second_leader = table.lease(("k",))
+    assert again is flight and not second_leader
+    table.land(("k",))
+    assert ("k",) not in table
+    _, fresh_leader = table.lease(("k",))
+    assert fresh_leader
+
+
+def _drive(coro):
+    asyncio.run(coro)
+
+
+async def _wait_until(predicate, timeout=10.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.02)
+
+
+def test_scheduler_coalesces_identical_inflight_specs():
+    async def scenario():
+        queue = JobQueue(depth=8)
+        metrics = ServiceMetrics()
+        release = threading.Event()
+        calls = []
+
+        def fake_execute(requests, sim_jobs):
+            calls.append(list(requests))
+            release.wait(timeout=10)
+            return {
+                request.flight_key: ("ok", {"benchmark": request.benchmark})
+                for request in requests
+            }
+
+        scheduler = Scheduler(queue, metrics, workers=1,
+                              execute_batch_fn=fake_execute)
+        scheduler.start()
+        jobs = [queue.submit(_request()) for _ in range(3)]
+        scheduler.wake()
+
+        # All three jobs attach to ONE flight while the executor blocks.
+        await _wait_until(lambda: queue.running_count() == 3)
+        assert scheduler.in_flight() == 1
+        release.set()
+        await _wait_until(queue.is_idle)
+
+        assert [len(batch) for batch in calls] == [1]
+        docs = [queue.get(job.id) for job in jobs]
+        assert all(doc.state == JobState.DONE for doc in docs)
+        assert sum(doc.coalesced for doc in docs) == 2
+        assert metrics.counter("coalesced") == 2
+        assert metrics.counter("completed") == 3
+        assert len(metrics.latency) == 3
+        await scheduler.drain()
+
+    _drive(scenario())
+
+
+def test_scheduler_distinct_specs_do_not_coalesce():
+    async def scenario():
+        queue = JobQueue(depth=8)
+        metrics = ServiceMetrics()
+
+        def fake_execute(requests, sim_jobs):
+            return {
+                request.flight_key: ("ok", {"scale": request.scale})
+                for request in requests
+            }
+
+        scheduler = Scheduler(queue, metrics, workers=2,
+                              execute_batch_fn=fake_execute)
+        scheduler.start()
+        a = queue.submit(JobRequest("KM", scale=0.05))
+        b = queue.submit(JobRequest("KM", scale=0.10))
+        scheduler.wake()
+        await _wait_until(queue.is_idle)
+        assert queue.get(a.id).result == {"scale": 0.05}
+        assert queue.get(b.id).result == {"scale": 0.10}
+        assert metrics.counter("coalesced") == 0
+        await scheduler.drain()
+
+    _drive(scenario())
+
+
+def test_scheduler_failure_marks_jobs_failed_without_crashing():
+    async def scenario():
+        queue = JobQueue(depth=8)
+        metrics = ServiceMetrics()
+
+        def fake_execute(requests, sim_jobs):
+            return {
+                request.flight_key: ("error", "simulated explosion")
+                for request in requests
+            }
+
+        scheduler = Scheduler(queue, metrics, workers=1,
+                              execute_batch_fn=fake_execute)
+        scheduler.start()
+        job = queue.submit(_request())
+        scheduler.wake()
+        await _wait_until(queue.is_idle)
+        doc = queue.get(job.id)
+        assert doc.state == JobState.FAILED
+        assert "simulated explosion" in doc.error
+        assert metrics.counter("failed") == 1
+        await scheduler.drain()
+
+    _drive(scenario())
+
+
+def test_scheduler_drain_finishes_queued_work():
+    async def scenario():
+        queue = JobQueue(depth=8)
+        metrics = ServiceMetrics()
+
+        def fake_execute(requests, sim_jobs):
+            return {
+                request.flight_key: ("ok", {}) for request in requests
+            }
+
+        scheduler = Scheduler(queue, metrics, workers=1,
+                              execute_batch_fn=fake_execute)
+        scheduler.start()
+        jobs = [queue.submit(JobRequest("KM", scale=s))
+                for s in (0.05, 0.10, 0.15)]
+        queue.close()
+        await scheduler.drain()
+        assert queue.is_idle()
+        assert all(queue.get(job.id).state == JobState.DONE for job in jobs)
+
+    _drive(scenario())
+
+
+def test_job_doc_shape():
+    job = Job(request=_request())
+    doc = job.to_doc()
+    assert doc["id"].startswith("job-")
+    assert doc["state"] == "queued"
+    assert doc["request"]["benchmark"] == "KM"
+    assert doc["result"] is None
+    assert "result" not in job.to_doc(include_result=False)

@@ -1,0 +1,167 @@
+"""End-to-end tests: real sockets, real simulations, real signals."""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.harness.diskcache as diskcache
+from repro.harness.profiling import PROFILER
+from repro.harness.runner import clear_run_cache, simulation_report
+from repro.service import ServiceClient, ThreadedServer
+from repro.service.client import ServerBusy
+from repro.service.errors import InvalidJob, UnknownJob
+from repro.workloads.suite import clear_trace_cache
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _reset_caches():
+    clear_run_cache()
+    clear_trace_cache()
+
+
+@pytest.fixture
+def tmp_disk_cache(tmp_path):
+    """Fresh disk cache root + empty memory caches, restored afterwards."""
+    diskcache.configure(enabled=True, root=str(tmp_path / "cache"))
+    _reset_caches()
+    yield
+    diskcache.configure()
+    _reset_caches()
+
+
+@pytest.fixture
+def no_disk_cache():
+    """Cold everything: every admitted spec must really simulate."""
+    diskcache.configure(enabled=False)
+    _reset_caches()
+    yield
+    diskcache.configure()
+    _reset_caches()
+
+
+def test_submit_poll_metrics_roundtrip(tmp_disk_cache):
+    with ThreadedServer(workers=1, queue_depth=4) as server:
+        client = ServiceClient(port=server.port)
+        assert client.health()["status"] == "ok"
+
+        job = client.submit("KM", scale=0.05)
+        assert job["state"] in ("queued", "running")
+        done = client.wait(job["id"], timeout=180)
+        report = done["result"]
+        assert report["benchmark"] == "KM"
+        assert report["speedup"] > 0
+        assert set(report["coverage"]) == {"host", "mapping", "fabric"}
+
+        # The service answer is the same document the CLI path builds —
+        # same caches, same report builder.
+        assert report == simulation_report("KM", 0.05)
+
+        listed = client.jobs()
+        assert any(item["id"] == job["id"] for item in listed)
+
+        metrics = client.metrics()
+        assert metrics["queue"]["capacity"] == 4
+        assert metrics["queue"]["open"] == 0
+        assert metrics["jobs"]["submitted"] >= 1
+        assert metrics["jobs"]["completed"] >= 1
+        assert metrics["latency_seconds"]["count"] >= 1
+        assert metrics["latency_seconds"]["p99"] >= metrics[
+            "latency_seconds"]["p50"] >= 0
+        assert "runs_simulated" in metrics["cache"]
+
+        with pytest.raises(UnknownJob):
+            client.job("job-does-not-exist")
+        with pytest.raises(InvalidJob):
+            client.submit("NOPE")
+        with pytest.raises(InvalidJob):
+            client.submit("KM", scale=-3)
+
+
+def test_duplicate_burst_coalesces_and_backpressures(no_disk_cache):
+    before = PROFILER.counters.get("runs_simulated", 0)
+    # workers=1 and a multi-second job: the burst lands while the first
+    # submission is still simulating.
+    with ThreadedServer(workers=1, queue_depth=3) as server:
+        client = ServiceClient(port=server.port)
+        admitted, busy = [], []
+        for _ in range(10):
+            try:
+                admitted.append(client.submit("SRAD", scale=1.0))
+            except ServerBusy as exc:
+                busy.append(exc)
+        # Admission control: exactly `depth` open jobs, the rest 429.
+        assert len(admitted) == 3
+        assert len(busy) == 7
+        assert all(exc.retry_after >= 1 for exc in busy)
+
+        docs = [client.wait(job["id"], timeout=600) for job in admitted]
+        results = [doc["result"] for doc in docs]
+        assert results[0] == results[1] == results[2]
+        assert sum(doc["coalesced"] for doc in docs) == 2
+
+        metrics = client.metrics()
+        assert metrics["jobs"]["coalesced"] == 2
+        assert metrics["jobs"]["rejected"] == 7
+        assert metrics["jobs"]["completed"] == 3
+    # Single-flight: one baseline + one DynaSpAM simulation, total.
+    simulated = PROFILER.counters.get("runs_simulated", 0) - before
+    assert simulated == 2
+
+
+def test_threaded_stop_drains_inflight_jobs(tmp_disk_cache):
+    server = ThreadedServer(workers=1, queue_depth=4)
+    server.start()
+    try:
+        client = ServiceClient(port=server.port)
+        client.submit("KM", scale=0.25)
+    finally:
+        server.stop()  # must block until the admitted job completes
+    stats = server.server.queue.stats()
+    assert stats["draining"] is True
+    assert stats["open"] == 0
+    assert stats["done_total"] == 1
+    assert stats["failed_total"] == 0
+
+
+def test_sigterm_drains_and_exits_zero(tmp_path):
+    import os
+
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO_ROOT / "src"),
+        REPRO_CACHE_DIR=str(tmp_path / "cache"),
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1", "--queue-depth", "8"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+        assert match, f"no listen banner, got: {banner!r}"
+        port = int(match.group(1))
+
+        client = ServiceClient(port=port)
+        job = client.submit("KM", scale=0.25)
+        assert job["state"] in ("queued", "running")
+
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=180)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30)
+    assert proc.returncode == 0, out
+    assert "draining" in out
+    assert "drained (done=1 failed=0)" in out

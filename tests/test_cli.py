@@ -96,3 +96,69 @@ def test_bench_command_no_cache(tmp_path, capsys):
         diskcache.configure()
     report = json.loads(out_path.read_text())
     assert report["disk_cache_enabled"] is False
+
+
+def test_run_invalid_scale_is_clean_usage_error(capsys):
+    assert main(["run", "KM", "--scale", "-1"]) == 2
+    err = capsys.readouterr().err
+    assert "invalid scale" in err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_run_unknown_benchmark_is_clean_usage_error(capsys):
+    assert main(["run", "NOPE", "--scale", "0.05"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark" in err
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_submit_unknown_benchmark_fails_before_connecting(capsys):
+    assert main(["submit", "NOPE", "--wait"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark" in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_submit_invalid_scale_fails_before_connecting(capsys):
+    assert main(["submit", "KM", "--scale", "0"]) == 2
+    err = capsys.readouterr().err
+    assert "invalid scale" in err
+
+
+def test_submit_unreachable_server_is_one_line_error(capsys):
+    # Port 1 is never listening; expect exit 1 and a single stderr line.
+    assert main(["submit", "KM", "--scale", "0.05",
+                 "--port", "1", "--timeout", "2"]) == 1
+    err = capsys.readouterr().err
+    assert "cannot reach repro service" in err
+    assert "Traceback" not in err
+
+
+def test_bench_cold_reports_real_simulation(tmp_path, capsys):
+    import repro.harness.diskcache as diskcache
+
+    out_path = tmp_path / "bench_cold.json"
+    try:
+        assert main(["bench", "--scale", "0.05", "--jobs", "2", "--cold",
+                     "--output", str(out_path)]) == 0
+    finally:
+        diskcache.configure()
+    report = json.loads(out_path.read_text())
+    assert report["cold"] is True
+    assert report["disk_cache_enabled"] is False
+    assert report["cache"]["runs_simulated"] > 0
+    # A cold sweep may legitimately reuse shared baselines in memory,
+    # but it must never time a fully-cached replay.
+    assert report["cache"]["hit_ratio"] < 1.0
+    printed = capsys.readouterr().out
+    assert "cache hit ratio" in printed
+    assert "(cold)" in printed
+
+
+def test_serve_rejects_bad_knobs(capsys):
+    assert main(["serve", "--workers", "0"]) == 2
+    assert "invalid --workers" in capsys.readouterr().err
+    assert main(["serve", "--queue-depth", "0"]) == 2
+    assert "invalid --queue-depth" in capsys.readouterr().err
