@@ -6,6 +6,9 @@ Usage::
     python -m repro run KM [--scale 0.5] [--mode accelerate]
                            [--no-speculation] [--fabrics 2]
                            [--trace-length 32] [--json]
+                           [--trace-out km.trace.json]
+    python -m repro explain KM [--scale 0.5] [--top 10]
+                               [--trace-id 0x1a4:TNT:32]
     python -m repro bench [--scale 1.0] [--jobs 4] [--no-cache] [--cold]
                           [--output BENCH_speedup.json]
     python -m repro serve [--port 8763] [--workers 2] [--queue-depth 64]
@@ -15,6 +18,12 @@ Usage::
 ``run`` simulates one benchmark on the baseline core and the DynaSpAM
 machine and reports speedup, coverage, trace statistics, and the energy
 ledger — as a human-readable summary or a JSON document for scripting.
+``run --trace-out`` additionally records the lifecycle event stream and
+exports it as Chrome trace-event JSON (load it in https://ui.perfetto.dev
+or chrome://tracing); the simulated numbers are bit-identical either way.
+``explain`` replays the same event stream into per-trace lifetime
+reports: when each trace was detected, went hot, got mapped, turned
+ready, and how often it offloaded or squashed.
 ``bench`` times the full Figure 8 sweep and writes a machine-readable
 speedup/timing report so the performance trajectory is tracked PR over PR
 (``--cold`` bypasses the caches so the timing measures real simulation).
@@ -68,6 +77,11 @@ def cmd_run(args) -> int:
     benchmark = _validate_run_args(args)
     if benchmark is None:
         return 2
+    sink = None
+    if args.trace_out:
+        from repro.obs import MemorySink
+
+        sink = MemorySink()
     report = simulation_report(
         benchmark,
         args.scale,
@@ -75,7 +89,17 @@ def cmd_run(args) -> int:
         speculation=not args.no_speculation,
         trace_length=args.trace_length,
         num_fabrics=args.fabrics,
+        sink=sink,
     )
+    if sink is not None:
+        from repro.obs import write_chrome_trace
+
+        count = write_chrome_trace(
+            sink.events, args.trace_out, end_cycle=report["dynaspam_cycles"]
+        )
+        # Keep --json stdout pure (a JSON document and nothing else).
+        print(f"trace: {count} events -> {args.trace_out} "
+              f"(load in https://ui.perfetto.dev)", file=sys.stderr)
     if args.json:
         print(json.dumps(report, indent=2))
         return 0
@@ -94,6 +118,46 @@ def cmd_run(args) -> int:
           f"{report['fabric_invocations']} invocations, "
           f"lifetime {report['mean_configuration_lifetime']:.0f}")
     print(f"  energy    {report['energy_reduction']:.1%} reduction")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Per-trace lifetime report: detected -> hot -> mapped -> offloaded."""
+    from repro.harness.runner import run_dynaspam
+    from repro.obs import (
+        MemorySink,
+        build_lifetime_report,
+        render_lifetime_report,
+        render_trace_detail,
+    )
+
+    benchmark = _validate_run_args(args)
+    if benchmark is None:
+        return 2
+    sink = MemorySink()
+    run_dynaspam(
+        benchmark,
+        args.scale,
+        mode=args.mode,
+        speculation=not args.no_speculation,
+        trace_length=args.trace_length,
+        num_fabrics=args.fabrics,
+        sink=sink,
+    )
+    report = build_lifetime_report(sink.events)
+    if args.trace_id:
+        detail = render_trace_detail(report, sink.events, args.trace_id)
+        if detail is None:
+            known = ", ".join(
+                t.trace_id for t in report.ranked()[:8]
+            ) or "none"
+            return _fail(
+                f"no trace {args.trace_id!r} in this run (try: {known})"
+            )
+        print(detail)
+        return 0
+    print(f"{benchmark} @ scale {args.scale}")
+    print(render_lifetime_report(report, top=args.top))
     return 0
 
 
@@ -129,6 +193,10 @@ def cmd_bench(args) -> int:
         "scale": args.scale,
         "jobs": args.jobs,
         "cold": bool(args.cold),
+        # The benchmark path never attaches an event sink; regression
+        # gating asserts this stays false so timings are never polluted
+        # by tracing overhead (scripts/check_bench_regression.py).
+        "tracing": False,
         "disk_cache_enabled": diskcache.is_enabled(),
         "wall_clock_seconds": wall_clock,
         "geomean": {
@@ -243,6 +311,21 @@ def main(argv=None) -> int:
     run_parser = sub.add_parser("run", help="simulate one benchmark")
     _add_run_knobs(run_parser)
     run_parser.add_argument("--json", action="store_true")
+    run_parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="record lifecycle events and export Chrome trace-event "
+             "JSON (Perfetto-loadable) to PATH")
+
+    explain_parser = sub.add_parser(
+        "explain", help="per-trace lifetime report for one benchmark")
+    _add_run_knobs(explain_parser)
+    explain_parser.add_argument(
+        "--top", type=int, default=10,
+        help="number of traces to list (0 = all)")
+    explain_parser.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="full event timeline for one trace (id as printed in the "
+             "table, e.g. 0x1a4:TNT:32)")
 
     bench_parser = sub.add_parser(
         "bench", help="timed Figure 8 sweep with a JSON report")
@@ -288,6 +371,8 @@ def main(argv=None) -> int:
         return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "explain":
+        return cmd_explain(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "serve":

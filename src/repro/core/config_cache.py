@@ -46,6 +46,8 @@ class ConfigCache:
     evictions: int = 0
     mapped_keys: set = field(default_factory=set)
     unmappable_keys: set = field(default_factory=set)
+    #: Optional ``repro.obs.EventBus`` (None = tracing disabled).
+    bus: object | None = field(default=None, repr=False, compare=False)
 
     def lookup(self, key: tuple) -> ConfigEntry | None:
         """Probe the cache (a fetch-stage read).  Hits refresh LRU order."""
@@ -55,6 +57,14 @@ class ConfigCache:
             # dict preserves insertion order: re-insert to mark recency.
             del self._store[key]
             self._store[key] = entry
+            if self.bus is not None:
+                self.bus.emit(
+                    "ccache.hit",
+                    key=key,
+                    counter=entry.counter,
+                    ready=entry.ready,
+                    mappable=entry.configuration is not None,
+                )
         return entry
 
     def insert(self, key: tuple, configuration: Configuration | None) -> ConfigEntry:
@@ -62,14 +72,29 @@ class ConfigCache:
         self.writes += 1
         if key not in self._store and len(self._store) >= self.entries:
             victim = next(iter(self._store))
+            victim_entry = self._store[victim]
             del self._store[victim]
             self.evictions += 1
+            if self.bus is not None:
+                self.bus.emit(
+                    "ccache.evict",
+                    key=victim,
+                    offload_count=victim_entry.offload_count,
+                    occupancy=len(self._store),
+                )
         entry = ConfigEntry(key=key, configuration=configuration)
         if configuration is None:
             self.unmappable_keys.add(key)
         else:
             self.mapped_keys.add(key)
         self._store[key] = entry
+        if self.bus is not None:
+            self.bus.emit(
+                "ccache.insert",
+                key=key,
+                mappable=configuration is not None,
+                occupancy=len(self._store),
+            )
         return entry
 
     def predicted_again(self, entry: ConfigEntry) -> bool:
@@ -79,8 +104,12 @@ class ConfigCache:
         counter_max = (1 << self.counter_bits) - 1
         if entry.counter < counter_max:
             entry.counter += 1
-        if entry.counter >= self.ready_threshold:
+        if entry.counter >= self.ready_threshold and not entry.ready:
             entry.ready = True
+            if self.bus is not None:
+                self.bus.emit(
+                    "ccache.ready", key=entry.key, counter=entry.counter
+                )
         return entry.ready
 
     def tick(self, instructions: int = 1) -> None:

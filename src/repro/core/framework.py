@@ -125,31 +125,52 @@ class DynaSpAM:
         core_config: CoreConfig | None = None,
         fabric_config: FabricConfig | None = None,
         ds_config: DynaSpAMConfig | None = None,
+        sink=None,
     ) -> None:
         self.config = ds_config or DynaSpAMConfig()
         cfg = self.config
         self.pipeline = OOOPipeline(core_config)
+        # Event tracing (repro.obs): one bus stamps every lifecycle event
+        # with the pipeline's front-end clock.  ``sink=None`` (the default)
+        # leaves every component's ``bus`` None — the disabled path is a
+        # single pointer comparison per site and cannot perturb timing.
+        self.bus = None
+        if sink is not None:
+            from repro.obs.events import EventBus
+
+            pipeline = self.pipeline
+            self.bus = EventBus(
+                sink,
+                clock=lambda: max(
+                    pipeline.next_fetch_cycle, pipeline.fetch_barrier
+                ),
+            )
+            self.pipeline.bus = self.bus
         self.fabric_config = fabric_config or FabricConfig()
         self.builder = TraceWindowBuilder(cfg.trace_length, cfg.max_branches)
         self.tcache = TCache(
             entries=cfg.tcache_entries,
             hot_threshold=cfg.hot_threshold,
             clear_interval=cfg.tcache_clear_interval,
+            bus=self.bus,
         )
         self.ccache = ConfigCache(
             entries=cfg.config_cache_entries,
             ready_threshold=cfg.ready_threshold,
             clear_interval=cfg.config_clear_interval,
+            bus=self.bus,
         )
         if cfg.mapper == "naive":
-            self.mapper = NaiveMapper(self.fabric_config)
+            self.mapper = NaiveMapper(self.fabric_config, bus=self.bus)
         else:
             self.mapper = ResourceAwareMapper(
-                self.fabric_config, self.pipeline.config
+                self.fabric_config, self.pipeline.config, bus=self.bus
             )
-        self.pool = FabricPool(cfg.num_fabrics, self.fabric_config)
+        self.pool = FabricPool(
+            cfg.num_fabrics, self.fabric_config, bus=self.bus
+        )
         self.offloader = OffloadEngine(
-            pipeline=self.pipeline, speculation=cfg.speculation
+            pipeline=self.pipeline, speculation=cfg.speculation, bus=self.bus
         )
 
         self._host_instructions = 0
@@ -167,6 +188,7 @@ class DynaSpAM:
         cfg = self.config
         if cfg.smart_trace_selection:
             self.builder.program = program  # enables static lookahead
+        self.pipeline.note_phase("host")
         active = cfg.mode != "baseline"
         i = 0
         n = len(trace)
@@ -233,8 +255,16 @@ class DynaSpAM:
             # The divergent branch re-executes (and pays its mispredict
             # penalty) on the host path; the fat entry's squash itself only
             # costs the ROB' detection bubble.
-            _, dispatch = self.pipeline.macro_dispatch()
+            seq, dispatch = self.pipeline.macro_dispatch()
             self.pipeline.stall_fetch_until(dispatch + TRACE_SQUASH_DETECT)
+            if self.bus is not None:
+                self.bus.emit(
+                    "offload.squash",
+                    cycle=dispatch + TRACE_SQUASH_DETECT,
+                    seq=seq,
+                    key=predicted,
+                    cause="branch",
+                )
             return None
         acquired = self.pool.acquire(
             entry.configuration,
@@ -244,9 +274,11 @@ class DynaSpAM:
         if acquired is None:
             return None  # every fabric is protected: run on the host
         fabric, ready = acquired
+        self.pipeline.note_phase("offload")
         outcome = self.offloader.offload(
             fabric, entry.configuration, segment, ready
         )
+        self.pipeline.note_phase("host")
         if not outcome.success:
             self._squashes += 1
             return None  # replay the segment on the host
@@ -263,6 +295,7 @@ class DynaSpAM:
         if actual_key != predicted:
             return None  # a mispredicted branch aborts the mapping process
         stats = self.pipeline.stats
+        self.pipeline.note_phase("mapping")
         drained = self.pipeline.drain()
         configuration = self.mapper.map_trace(segment, actual_key)
         self.ccache.insert(actual_key, configuration)
@@ -275,6 +308,7 @@ class DynaSpAM:
             )
         for dyn in segment:
             self._host_step(dyn, mapping_phase=True)
+        self.pipeline.note_phase("host")
         return i + len(segment)
 
     # ------------------------------------------------------------------

@@ -27,7 +27,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.priority import priority_gen, PlacementPlan, PRIORITY_INFEASIBLE
+from repro.core.priority import (
+    priority_gen,
+    score_name,
+    PlacementPlan,
+    PRIORITY_INFEASIBLE,
+)
 from repro.core.tables import MappingTables, livein_token, pos_token, Token
 from repro.fabric.config import FabricConfig
 from repro.fabric.configuration import Configuration, OperandSource, PlacedOp
@@ -116,6 +121,7 @@ class ResourceAwareMapper:
         fabric_config: FabricConfig | None = None,
         core_config: CoreConfig | None = None,
         use_priority_scores: bool = True,
+        bus=None,
     ) -> None:
         self.fabric_config = fabric_config or FabricConfig()
         self.core_config = core_config or CoreConfig()
@@ -126,6 +132,8 @@ class ResourceAwareMapper:
         self.use_priority_scores = use_priority_scores
         self.attempts = 0
         self.failures = 0
+        #: Optional ``repro.obs.EventBus`` (None = tracing disabled).
+        self.bus = bus
 
     # ------------------------------------------------------------------
     def map_trace(
@@ -133,11 +141,26 @@ class ResourceAwareMapper:
     ) -> Configuration | None:
         """Map a trace; returns None if no feasible mapping exists."""
         self.attempts += 1
+        if self.bus is not None:
+            self.bus.emit(
+                "map.start", key=trace_key, instructions=len(insts)
+            )
         try:
             configuration = self._map(insts, trace_key)
-        except MappingFailure:
+        except MappingFailure as exc:
             self.failures += 1
+            if self.bus is not None:
+                self.bus.emit("map.fail", key=trace_key, reason=str(exc))
             return None
+        if self.bus is not None:
+            self.bus.emit(
+                "map.done",
+                key=trace_key,
+                mapping_cycles=configuration.mapping_cycles,
+                placements=len(configuration.placements),
+                live_ins=len(configuration.live_ins),
+                live_outs=len(configuration.live_outs),
+            )
         return configuration
 
     # ------------------------------------------------------------------
@@ -182,6 +205,14 @@ class ResourceAwareMapper:
                 placed, unplaced, consumers, last_def
             )
             tables.propagate(frontier, live_tokens)
+            if self.bus is not None:
+                self.bus.emit(
+                    "map.stripe",
+                    stripe=frontier,
+                    selected=len(selected),
+                    offset=mapping_cycles,
+                    remaining=len(unplaced),
+                )
             frontier += 1
             mapping_cycles += 1  # frontier advance
 
@@ -242,6 +273,16 @@ class ResourceAwareMapper:
             del unplaced[choice.pos]
             ready.remove(choice)
             selected.append(choice)
+            if self.bus is not None:
+                self.bus.emit(
+                    "map.place",
+                    pos=choice.pos,
+                    pc=choice.dyn.pc,
+                    stripe=frontier,
+                    pe=pe.index,
+                    pool=pe.pool,
+                    score=score_name(plan.score),
+                )
         return selected
 
     # ------------------------------------------------------------------

@@ -16,13 +16,16 @@ class FabricPool:
     """A set of fabrics managed with an LRU reconfiguration policy."""
 
     def __init__(
-        self, num_fabrics: int = 1, fabric_config: FabricConfig | None = None
+        self,
+        num_fabrics: int = 1,
+        fabric_config: FabricConfig | None = None,
+        bus=None,
     ) -> None:
         if num_fabrics < 1:
             raise ValueError("need at least one fabric")
         self.fabric_config = fabric_config or FabricConfig()
         self.fabrics = [
-            SpatialFabric(self.fabric_config, fabric_id=i)
+            SpatialFabric(self.fabric_config, fabric_id=i, bus=bus)
             for i in range(num_fabrics)
         ]
         self._lru: list[int] = list(range(num_fabrics))

@@ -22,20 +22,40 @@ from repro.isa.instructions import DynamicInstruction
 class NaiveMapper:
     """Strict program-order, first-fit mapping."""
 
-    def __init__(self, fabric_config: FabricConfig | None = None) -> None:
+    def __init__(
+        self, fabric_config: FabricConfig | None = None, bus=None
+    ) -> None:
         self.fabric_config = fabric_config or FabricConfig()
         self.attempts = 0
         self.failures = 0
+        #: Optional ``repro.obs.EventBus`` (None = tracing disabled).
+        self.bus = bus
 
     def map_trace(
         self, insts: list[DynamicInstruction], trace_key: tuple
     ) -> Configuration | None:
         self.attempts += 1
+        if self.bus is not None:
+            self.bus.emit(
+                "map.start", key=trace_key, instructions=len(insts)
+            )
         try:
-            return self._map(insts, trace_key)
-        except MappingFailure:
+            configuration = self._map(insts, trace_key)
+        except MappingFailure as exc:
             self.failures += 1
+            if self.bus is not None:
+                self.bus.emit("map.fail", key=trace_key, reason=str(exc))
             return None
+        if self.bus is not None:
+            self.bus.emit(
+                "map.done",
+                key=trace_key,
+                mapping_cycles=configuration.mapping_cycles,
+                placements=len(configuration.placements),
+                live_ins=len(configuration.live_ins),
+                live_outs=len(configuration.live_outs),
+            )
+        return configuration
 
     def _map(self, insts, trace_key) -> Configuration:
         fcfg = self.fabric_config

@@ -41,6 +41,8 @@ class OffloadEngine:
     pipeline: OOOPipeline
     speculation: bool = True
     siderob: SideROB = field(default_factory=SideROB)
+    #: Optional ``repro.obs.EventBus`` (None = tracing disabled).
+    bus: object | None = None
 
     def offload(
         self,
@@ -55,6 +57,16 @@ class OffloadEngine:
 
         seq, dispatch = pipeline.macro_dispatch()
         entry = self.siderob.allocate(seq, configuration.trace_key)
+        if self.bus is not None:
+            self.bus.emit(
+                "offload.dispatch",
+                cycle=dispatch,
+                seq=seq,
+                key=configuration.trace_key,
+                instructions=len(segment),
+                live_ins=len(configuration.live_ins),
+                siderob_occupancy=self.siderob.occupancy,
+            )
 
         live_in_ready = {
             reg: pipeline.regs.ready_cycle(reg)
@@ -114,6 +126,16 @@ class OffloadEngine:
             pipeline.stall_fetch_until(
                 detect + pipeline.config.violation_squash_penalty
             )
+            if self.bus is not None:
+                self.bus.emit(
+                    "offload.squash",
+                    cycle=detect,
+                    seq=seq,
+                    key=configuration.trace_key,
+                    cause="memory",
+                    load_pc=load_pc,
+                    store_pc=store_pc,
+                )
             return OffloadOutcome(
                 success=False,
                 violation=(load_pc, store_pc),
@@ -173,6 +195,15 @@ class OffloadEngine:
             setattr(stats, counter, getattr(stats, counter) + 1)
         stats.instructions += len(segment)
 
+        if self.bus is not None:
+            self.bus.emit(
+                "offload.commit",
+                cycle=commit,
+                seq=seq,
+                key=configuration.trace_key,
+                instructions=len(segment),
+                complete=result.complete,
+            )
         return OffloadOutcome(
             success=True, consumed=len(segment), complete=result.complete
         )

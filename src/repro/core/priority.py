@@ -32,6 +32,20 @@ PRIORITY_PART_REUSE = 1
 PRIORITY_ROUTED = 0
 PRIORITY_INFEASIBLE = -1
 
+#: Human-readable Table 2 level names (trace events and reports).
+PRIORITY_NAMES = {
+    PRIORITY_TWO_LIVEIN: "two_livein",
+    PRIORITY_FULL_REUSE: "full_reuse",
+    PRIORITY_PART_REUSE: "partial_reuse",
+    PRIORITY_ROUTED: "routed",
+    PRIORITY_INFEASIBLE: "infeasible",
+}
+
+
+def score_name(score: int) -> str:
+    """The Table 2 label of a priority score (falls back to the number)."""
+    return PRIORITY_NAMES.get(score, str(score))
+
 
 @dataclass
 class OperandPlan:

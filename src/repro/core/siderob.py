@@ -49,12 +49,16 @@ class SideROB:
         self._entries: list[SideROBEntry] = []
         self.committed = 0
         self.squashed = 0
+        #: High-water occupancy mark (telemetry; ``repro explain``).
+        self.peak_occupancy = 0
 
     def allocate(self, seq: int, trace_key: tuple) -> SideROBEntry:
         if len(self._entries) >= self.capacity:
             raise RuntimeError("ROB' full")
         entry = SideROBEntry(seq=seq, trace_key=trace_key)
         self._entries.append(entry)
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
         return entry
 
     def mark_complete(

@@ -144,6 +144,7 @@ class TCache:
         counter_bits: int = 3,
         hot_threshold: int = 3,
         clear_interval: int = 100_000,
+        bus=None,
     ) -> None:
         self.entries = entries
         self.counter_max = (1 << counter_bits) - 1
@@ -155,10 +156,13 @@ class TCache:
         self.lookups = 0
         self.insertions = 0
         self.clears = 0
+        #: Optional ``repro.obs.EventBus`` (None = tracing disabled).
+        self.bus = bus
 
     def observe(self, window: TraceWindow) -> bool:
         """Record a closed trace; returns True if it is (now) hot."""
         key = window.key
+        bus = self.bus
         self.lookups += 1
         count = self._counters.get(key)
         if count is None:
@@ -170,10 +174,14 @@ class TCache:
                 self._hot.discard(victim)
             count = 0
             self.insertions += 1
+            if bus is not None:
+                bus.emit("tcache.detect", key=key, length=window.length)
         count = min(count + 1, self.counter_max)
         self._counters[key] = count
-        if count >= self.hot_threshold:
+        if count >= self.hot_threshold and key not in self._hot:
             self._hot.add(key)
+            if bus is not None:
+                bus.emit("tcache.hot", key=key, count=count)
         self._tick()
         return key in self._hot
 
@@ -185,6 +193,12 @@ class TCache:
         if self._since_clear >= self.clear_interval:
             self._since_clear = 0
             self.clears += 1
+            if self.bus is not None:
+                self.bus.emit(
+                    "tcache.clear",
+                    entries=len(self._counters),
+                    hot=len(self._hot),
+                )
             # Periodic clearing resets counters *and* demotes hot flags
             # ("periodically cleared to prevent traces that execute
             # infrequently from occupying the spatial fabric"): a genuinely

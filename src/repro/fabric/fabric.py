@@ -81,9 +81,16 @@ class InvocationResult:
 class SpatialFabric:
     """One reconfigurable fabric instance."""
 
-    def __init__(self, config: FabricConfig | None = None, fabric_id: int = 0) -> None:
+    def __init__(
+        self,
+        config: FabricConfig | None = None,
+        fabric_id: int = 0,
+        bus=None,
+    ) -> None:
         self.config = config or FabricConfig()
         self.fabric_id = fabric_id
+        #: Optional ``repro.obs.EventBus`` (None = tracing disabled).
+        self.bus = bus
         self.stripes: list[Stripe] = build_stripes(self.config)
         self.fifo = FifoModel(self.config.fifo_depth)
 
@@ -112,6 +119,15 @@ class SpatialFabric:
         """Load a configuration; returns the cycle the fabric is ready."""
         if self.current_key is not None and self.invocations_on_current:
             self.lifetime_invocations.append(self.invocations_on_current)
+        if self.bus is not None:
+            self.bus.emit(
+                "fabric.reconfig",
+                cycle=cycle,
+                fabric=self.fabric_id,
+                key=configuration.trace_key,
+                evicted=self.current_key,
+                stripes=configuration.stripes_used,
+            )
         self.current_key = configuration.trace_key
         self.invocations_on_current = 0
         self.reconfigurations += 1

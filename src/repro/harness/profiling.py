@@ -46,11 +46,16 @@ class Profiler:
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold a worker process's snapshot into this profiler.
 
-        Worker section times sum across processes, so they read as
-        aggregate compute seconds next to the parent's wall-clock
-        ``parallel_execution`` section.
+        Worker section times sum across processes, so they land under a
+        ``workers.`` prefix: ``workers.simulate_dynaspam`` is aggregate
+        compute seconds across the pool, not wall clock, and must never
+        be read alongside the parent's own wall-clock sections as if it
+        were.  Counters stay flat — a cache hit is a cache hit no matter
+        which process scored it.
         """
         for name, seconds in snapshot.get("sections_seconds", {}).items():
+            if not name.startswith("workers."):
+                name = f"workers.{name}"
             self.sections[name] = self.sections.get(name, 0.0) + seconds
         for name, count in snapshot.get("counters", {}).items():
             self.bump(name, count)

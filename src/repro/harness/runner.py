@@ -145,7 +145,7 @@ def seed_run_cache(key: RunKey, result) -> None:
     _RUN_CACHE[key] = result
 
 
-def _simulate(spec: RunSpec):
+def _simulate(spec: RunSpec, sink=None):
     with PROFILER.section("trace_generation"):
         trace = generate_trace(spec.abbrev, spec.scale)
     if spec.kind == "baseline":
@@ -155,6 +155,7 @@ def _simulate(spec: RunSpec):
         core_config=spec.core_config,
         fabric_config=spec.fabric_config,
         ds_config=spec.ds_config,
+        sink=sink,
     )
     with PROFILER.section("simulate_dynaspam"):
         result = machine.run(trace.trace, trace.program)
@@ -163,14 +164,21 @@ def _simulate(spec: RunSpec):
     return result
 
 
-def execute_spec(spec: RunSpec):
-    """Resolve one run through memory -> disk -> simulation."""
+def execute_spec(spec: RunSpec, sink=None):
+    """Resolve one run through memory -> disk -> simulation.
+
+    A run with an event sink always simulates fresh — a cached result has
+    no event stream to replay.  It still *seeds* the caches: tracing is
+    bit-identical by construction, so the traced result is the same object
+    an untraced run would have produced.
+    """
     key = spec.key
-    cached = peek_cached(key)
-    if cached is not None:
-        return cached
+    if sink is None:
+        cached = peek_cached(key)
+        if cached is not None:
+            return cached
     PROFILER.bump("runs_simulated")
-    result = _simulate(spec)
+    result = _simulate(spec, sink=sink)
     _RUN_CACHE[key] = result
     disk = diskcache.shared_cache("runs")
     if disk is not None:
@@ -201,8 +209,13 @@ def run_dynaspam(
     config: DynaSpAMConfig | None = None,
     core_config: CoreConfig | None = None,
     fabric_config: FabricConfig | None = None,
+    sink=None,
 ) -> DynaSpAMResult:
-    """Simulate a benchmark on the DynaSpAM-augmented core."""
+    """Simulate a benchmark on the DynaSpAM-augmented core.
+
+    ``sink`` (any ``repro.obs.EventSink``) records the lifecycle event
+    stream; it forces a fresh simulation but never changes its numbers.
+    """
     if config is None:
         config = DynaSpAMConfig(
             mode=mode,
@@ -215,7 +228,8 @@ def run_dynaspam(
         dynaspam_spec(
             abbrev, scale, config=config,
             core_config=core_config, fabric_config=fabric_config,
-        )
+        ),
+        sink=sink,
     )
 
 
@@ -228,13 +242,16 @@ def simulation_report(
     trace_length: int = 32,
     num_fabrics: int = 1,
     mapper: str = "resource_aware",
+    sink=None,
 ) -> dict:
     """Baseline-vs-DynaSpAM comparison for one benchmark, as a JSON dict.
 
     This is the shared report builder behind ``repro run --json`` and
     the service's job results — both resolve through the layered run
     caches, so a served job and a CLI run of the same spec are not just
-    equal but the very same cached simulation.
+    equal but the very same cached simulation.  Passing ``sink`` records
+    the DynaSpAM run's lifecycle event stream without changing a single
+    reported number.
     """
     from repro.energy import EnergyModel
 
@@ -243,6 +260,7 @@ def simulation_report(
     result = run_dynaspam(
         abbrev, scale, mode=mode, speculation=speculation,
         trace_length=trace_length, num_fabrics=num_fabrics, mapper=mapper,
+        sink=sink,
     )
     model = EnergyModel()
     base_energy = model.breakdown(baseline.stats)
@@ -266,6 +284,10 @@ def simulation_report(
         "reconfigurations": result.reconfigurations,
         "energy_reduction": dyna_energy.reduction_vs(base_energy),
         "energy_components_normalized": dyna_energy.normalized_to(base_energy),
+        # Full counter blocks, generated from dataclasses.fields so a new
+        # PipelineStats counter can never be silently omitted from --json.
+        "stats": result.stats.as_dict(),
+        "baseline_stats": baseline.stats.as_dict(),
     }
 
 

@@ -1,0 +1,48 @@
+"""Observability: structured lifecycle events, trace reports, exporters.
+
+Zero overhead when disabled — every instrumented component holds
+``bus = None`` by default and guards each emission with a single pointer
+comparison.  Pass any :class:`EventSink` to ``DynaSpAM(sink=...)`` (or the
+harness/CLI equivalents) to record the full lifecycle stream.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    AggregateSink,
+    Event,
+    EventBus,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TeeSink,
+)
+from repro.obs.lifetime import (
+    LifetimeReport,
+    TraceLifetime,
+    build_lifetime_report,
+    format_trace_id,
+    render_lifetime_report,
+    render_trace_detail,
+)
+from repro.obs.chrometrace import build_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "EVENT_TYPES",
+    "AggregateSink",
+    "Event",
+    "EventBus",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "TeeSink",
+    "LifetimeReport",
+    "TraceLifetime",
+    "build_lifetime_report",
+    "format_trace_id",
+    "render_lifetime_report",
+    "render_trace_detail",
+    "build_chrome_trace",
+    "write_chrome_trace",
+]

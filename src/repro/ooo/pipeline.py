@@ -89,11 +89,17 @@ class OOOPipeline:
         self,
         config: CoreConfig | None = None,
         conservative_memory: bool = False,
+        bus=None,
     ) -> None:
         self.config = config or CoreConfig()
         cfg = self.config
         self.stats = PipelineStats()
         self.conservative_memory = conservative_memory
+        #: Optional ``repro.obs.EventBus`` (None = tracing disabled).  The
+        #: DynaSpAM framework assigns it after construction because the
+        #: bus's clock closes over this pipeline.
+        self.bus = bus
+        self._phase: str | None = None
 
         self.bpred = BranchPredictor(cfg)
         self.storesets = StoreSetPredictor(cfg.ssit_entries)
@@ -376,11 +382,33 @@ class OOOPipeline:
         if empty > stalled_from:
             self.stats.drain_cycles += empty - stalled_from
         self.fetch_barrier = max(self.fetch_barrier, empty)
+        if self.bus is not None:
+            self.bus.emit(
+                "pipeline.drain",
+                cycle=stalled_from,
+                until=max(empty, stalled_from),
+                stall=max(0, empty - stalled_from),
+            )
         return max(empty, stalled_from)
 
     def stall_fetch_until(self, cycle: int) -> None:
         """Hold fetch until ``cycle`` (mapping occupies the issue unit)."""
         self.fetch_barrier = max(self.fetch_barrier, cycle)
+
+    def note_phase(self, phase: str) -> None:
+        """Record an execution-phase transition (host | mapping | offload).
+
+        Pure observability: emits a ``pipeline.phase`` mark when tracing
+        is enabled and the phase actually changed; a no-op otherwise.
+        """
+        if self.bus is None or phase == self._phase:
+            return
+        self._phase = phase
+        self.bus.emit(
+            "pipeline.phase",
+            phase=phase,
+            cycle=max(self.next_fetch_cycle, self.fetch_barrier),
+        )
 
     def macro_dispatch(self) -> tuple[int, int]:
         """Dispatch a fat macro operation (one fabric trace invocation).

@@ -113,6 +113,29 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
+    def metrics_text(self) -> str:
+        """Prometheus text exposition from ``/metrics`` (Accept-negotiated)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics",
+                         headers={"Accept": "text/plain"})
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                raise ServiceError(
+                    f"/metrics returned HTTP {response.status}"
+                )
+        except (ConnectionError, OSError, http.client.HTTPException) as exc:
+            raise ServiceUnreachable(
+                f"cannot reach repro service at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        return raw.decode("utf-8")
+
     def jobs(self) -> list[dict]:
         return self._request("GET", "/v1/jobs")["jobs"]
 

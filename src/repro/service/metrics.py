@@ -49,6 +49,52 @@ class LatencyRing:
         }
 
 
+class LatencyHistogram:
+    """Cumulative-bucket latency histogram (Prometheus exposition shape).
+
+    Unlike the ring, the histogram never forgets: buckets are monotonic
+    counters, which is what Prometheus ``rate()``/``histogram_quantile()``
+    need across scrapes.
+    """
+
+    #: Upper bounds in seconds; ``None`` is the +Inf bucket.
+    DEFAULT_BUCKETS = (
+        0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+        10.0, 30.0, 60.0, 120.0, None,
+    )
+
+    def __init__(self, buckets: tuple = DEFAULT_BUCKETS) -> None:
+        if buckets[-1] is not None:
+            buckets = tuple(buckets) + (None,)
+        self.buckets = tuple(buckets)
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        with self._lock:
+            self._sum += seconds
+            self._count += 1
+            for index, upper in enumerate(self.buckets):
+                if upper is None or seconds <= upper:
+                    self._counts[index] += 1
+                    break
+
+    def summary(self) -> dict:
+        """Per-bucket (non-cumulative) counts; the renderer cumulates."""
+        with self._lock:
+            return {
+                "buckets": [
+                    [upper, count]
+                    for upper, count in zip(self.buckets, self._counts)
+                ],
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
 class ServiceMetrics:
     """Monotonic counters + latency ring; snapshots merge harness stats."""
 
@@ -57,6 +103,7 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self.latency = LatencyRing(latency_capacity)
+        self.latency_histogram = LatencyHistogram()
 
     def bump(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -68,6 +115,34 @@ class ServiceMetrics:
 
     def observe_latency(self, seconds: float) -> None:
         self.latency.observe(seconds)
+        self.latency_histogram.observe(seconds)
+
+    def observe_report(self, report) -> None:
+        """Fold one completed job's run report into lifecycle totals.
+
+        These are the simulated DynaSpAM numbers (mapped/offloaded traces,
+        invocations, squashes split by cause) aggregated across every job
+        the service has completed — the counters behind
+        ``repro_lifecycle_events_total``.
+        """
+        if not isinstance(report, dict):
+            return
+        stats = report.get("stats", {})
+        squashes = int(report.get("squashes", 0) or 0)
+        memory = int(stats.get("memory_violations", 0) or 0)
+        self.bump("lifecycle.traces_mapped",
+                  int(report.get("mapped_traces", 0) or 0))
+        self.bump("lifecycle.traces_offloaded",
+                  int(report.get("offloaded_traces", 0) or 0))
+        self.bump("lifecycle.fabric_invocations",
+                  int(report.get("fabric_invocations", 0) or 0))
+        self.bump("lifecycle.reconfigurations",
+                  int(report.get("reconfigurations", 0) or 0))
+        self.bump("lifecycle.instructions_offloaded",
+                  int(stats.get("offloaded_instructions", 0) or 0))
+        self.bump("lifecycle.squashes_memory", min(memory, squashes))
+        self.bump("lifecycle.squashes_branch",
+                  max(0, squashes - memory))
 
     def retry_after_hint(self, open_jobs: int, workers: int) -> int:
         """Seconds a rejected client should back off before retrying."""
@@ -102,6 +177,12 @@ class ServiceMetrics:
                 "coalesced": counters.get("coalesced", 0),
             },
             "latency_seconds": self.latency.summary(),
+            "latency_histogram": self.latency_histogram.summary(),
+            "lifecycle": {
+                name[len("lifecycle."):]: value
+                for name, value in counters.items()
+                if name.startswith("lifecycle.")
+            },
             "cache": self.cache_stats(),
         }
         if queue is not None:

@@ -190,6 +190,7 @@ class Scheduler:
                 if status == "ok":
                     self.queue.finish(job.id, value)
                     self.metrics.bump("completed")
+                    self.metrics.observe_report(value)
                 else:
                     self.queue.fail(job.id, str(value))
                     self.metrics.bump("failed")

@@ -7,6 +7,8 @@ Endpoints::
 
     GET  /healthz        -> {"status": "ok" | "draining"}
     GET  /metrics        -> counters, queue gauges, latency percentiles
+                            (JSON by default; ``Accept: text/plain`` gets
+                            Prometheus text exposition 0.0.4)
     POST /v1/jobs        -> 202 {"job": {...}} | 400 | 429 (+Retry-After) | 503
     GET  /v1/jobs        -> {"jobs": [...]} (retained jobs, no result bodies)
     GET  /v1/jobs/{id}   -> job document with result when done | 404
@@ -125,13 +127,15 @@ class ServiceServer:
     @staticmethod
     def _render(status: int, extra_headers: dict, body: bytes) -> bytes:
         reason = _REASONS.get(status, "Unknown")
+        extra = dict(extra_headers)
+        content_type = extra.pop("Content-Type", "application/json")
         lines = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
-        lines += [f"{name}: {value}" for name, value in extra_headers.items()]
+        lines += [f"{name}: {value}" for name, value in extra.items()]
         return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
 
     async def _handle_request(self, reader):
@@ -174,17 +178,19 @@ class ServiceServer:
                     reader.readexactly(length), timeout=READ_TIMEOUT
                 )
         path = target.split("?", 1)[0].rstrip("/") or "/"
-        return self._route(method.upper(), path, body)
+        return self._route(method.upper(), path, body, headers)
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _route(self, method: str, path: str, body: bytes):
+    def _route(self, method: str, path: str, body: bytes,
+               headers: dict | None = None):
+        headers = headers or {}
         try:
             if path == "/healthz" and method == "GET":
                 return self._get_health()
             if path == "/metrics" and method == "GET":
-                return self._get_metrics()
+                return self._get_metrics(headers.get("accept", ""))
             if path == "/v1/jobs":
                 if method == "POST":
                     return self._post_job(body)
@@ -210,8 +216,15 @@ class ServiceServer:
         status = "draining" if self.queue.closed else "ok"
         return self._ok({"status": status})
 
-    def _get_metrics(self):
-        return self._ok(self.metrics.snapshot(self.queue, self.scheduler))
+    def _get_metrics(self, accept: str = ""):
+        snapshot = self.metrics.snapshot(self.queue, self.scheduler)
+        accept = accept.lower()
+        if "text/plain" in accept or "openmetrics" in accept:
+            from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+
+            return (200, {"Content-Type": CONTENT_TYPE},
+                    render_prometheus(snapshot).encode())
+        return self._ok(snapshot)
 
     def _post_job(self, body: bytes):
         try:

@@ -102,3 +102,48 @@ def test_figure8_runs_at_tiny_scale():
         assert 0.3 < value < 4.0
     text = result.render()
     assert "GEOMEAN" in text
+
+
+def test_profiler_merge_labels_worker_sections():
+    from repro.harness.profiling import Profiler
+
+    parent = Profiler()
+    with parent.section("parallel_execution"):
+        pass
+    parent.merge_snapshot({
+        "sections_seconds": {"simulate_dynaspam": 2.5,
+                             "workers.trace_generation": 1.0},
+        "counters": {"runs_simulated": 3},
+    })
+    # Worker compute seconds are prefixed so they can never be misread
+    # as the parent's wall clock; already-prefixed names stay single.
+    assert parent.sections["workers.simulate_dynaspam"] == 2.5
+    assert parent.sections["workers.trace_generation"] == 1.0
+    assert "simulate_dynaspam" not in parent.sections
+    # Counters merge flat: a cache hit is a hit in any process.
+    assert parent.counters["runs_simulated"] == 3
+
+
+def test_traced_run_bypasses_cache_but_seeds_it():
+    from repro.harness.runner import (
+        clear_run_cache,
+        dynaspam_spec,
+        execute_spec,
+        peek_cached,
+    )
+    from repro.obs import MemorySink
+
+    clear_run_cache()
+    spec = dynaspam_spec("KM", 0.05)
+    sink = MemorySink()
+    traced = execute_spec(spec, sink=sink)
+    assert len(sink) > 0
+    # The traced result seeded the cache; an untraced lookup now hits.
+    assert peek_cached(spec.key) is traced
+    # A second traced call simulates fresh (new events), same numbers.
+    second_sink = MemorySink()
+    again = execute_spec(spec, sink=second_sink)
+    assert len(second_sink) == len(sink)
+    assert again.cycles == traced.cycles
+    assert again.stats.as_dict() == traced.stats.as_dict()
+    clear_run_cache()

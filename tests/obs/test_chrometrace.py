@@ -1,0 +1,80 @@
+"""Chrome trace-event export: format validity and bit-identical runs."""
+
+import json
+
+from repro.harness.runner import run_dynaspam, simulation_report
+from repro.obs import MemorySink, build_chrome_trace, write_chrome_trace
+
+REQUIRED_EVENT_KEYS = {"name", "ph", "pid", "tid"}
+
+
+def _trace_doc(abbrev="KM", scale=0.05):
+    sink = MemorySink()
+    result = run_dynaspam(abbrev, scale, sink=sink)
+    doc = build_chrome_trace(sink.events, end_cycle=result.cycles)
+    return doc, sink, result.cycles
+
+
+def test_export_is_valid_chrome_trace_json(tmp_path):
+    doc, sink, cycles = _trace_doc()
+    # Golden structural contract of the trace-event format.
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    assert events, "empty export"
+    for event in events:
+        assert REQUIRED_EVENT_KEYS <= set(event), event
+        assert event["ph"] in {"X", "i", "M"}, event
+        if event["ph"] != "M":
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+        if event["ph"] == "X":
+            assert event["dur"] >= 1
+    # The file writer produces the same document, parseable from disk.
+    path = tmp_path / "out.trace.json"
+    count = write_chrome_trace(sink.events, path, end_cycle=cycles)
+    assert count == len(events)
+    assert json.loads(path.read_text()) == doc
+
+
+def test_timestamps_are_monotonic_per_track():
+    doc, _, _ = _trace_doc()
+    by_tid = {}
+    for event in doc["traceEvents"]:
+        if event["ph"] == "M":
+            continue
+        by_tid.setdefault(event["tid"], []).append(event["ts"])
+    assert set(by_tid) >= {1, 3, 4, 5}, "expected tracks missing"
+    for tid, stamps in by_tid.items():
+        assert stamps == sorted(stamps), f"track {tid} not monotonic"
+
+
+def test_tracks_carry_the_lifecycle():
+    doc, _, _ = _trace_doc()
+    names = {e["name"] for e in doc["traceEvents"]}
+    meta = {e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert meta == {"pipeline phase", "front-end stalls", "fabric mapping",
+                    "fat instructions", "lifecycle"}
+    assert "host" in names and "mapping" in names
+    assert any(name.startswith("map 0x") for name in names)
+    assert any(name.startswith("fat 0x") for name in names)
+    assert any(name.startswith("tcache.hot") for name in names)
+
+
+def test_fat_spans_pair_dispatch_with_commit():
+    doc, sink, cycles = _trace_doc()
+    commits = sum(1 for e in sink if e.type == "offload.commit")
+    fat_spans = [e for e in doc["traceEvents"]
+                 if e["tid"] == 4 and e["ph"] == "X"]
+    committed = [e for e in fat_spans
+                 if e["args"].get("outcome") == "commit"]
+    assert len(committed) == commits
+    for span in committed:
+        assert "complete" in span["args"]
+        assert span["args"]["instructions"] >= 1
+
+
+def test_tracing_leaves_the_report_byte_identical():
+    plain = simulation_report("KM", 0.05)
+    traced = simulation_report("KM", 0.05, sink=MemorySink())
+    assert json.dumps(traced, sort_keys=True) == \
+        json.dumps(plain, sort_keys=True)

@@ -1,0 +1,104 @@
+"""Unit tests for the event bus and sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EVENT_TYPES,
+    AggregateSink,
+    Event,
+    EventBus,
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TeeSink,
+)
+
+
+def test_bus_stamps_sequence_and_clock():
+    sink = MemorySink()
+    ticks = iter(range(100, 200))
+    bus = EventBus(sink, clock=lambda: next(ticks))
+    bus.emit("tcache.detect", key=(4, (), 8), length=8)
+    bus.emit("tcache.hot", cycle=777, key=(4, (), 8), count=3)
+    first, second = list(sink)
+    assert (first.seq, first.cycle) == (0, 100)
+    assert second.seq == 1
+    assert second.cycle == 777          # explicit cycle beats the clock
+    assert bus.emitted == 2
+
+
+def test_bus_rejects_unregistered_types():
+    bus = EventBus(MemorySink())
+    with pytest.raises(ValueError, match="unregistered"):
+        bus.emit("tcache.bogus")
+
+
+def test_every_sink_satisfies_the_protocol():
+    for sink in (NullSink(), MemorySink(), JsonlSink(io.StringIO()),
+                 AggregateSink(), TeeSink()):
+        assert isinstance(sink, EventSink)
+    assert NullSink().enabled is False
+    assert MemorySink().enabled is True
+
+
+def test_memory_sink_ring_drops_oldest():
+    sink = MemorySink(capacity=3)
+    bus = EventBus(sink)
+    for index in range(5):
+        bus.emit("pipeline.phase", cycle=index, phase="host")
+    assert len(sink) == 3
+    assert sink.dropped == 2
+    assert [event.cycle for event in sink] == [2, 3, 4]
+
+
+def test_jsonl_sink_round_trips_trace_keys(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with JsonlSink(path) as sink:
+        bus = EventBus(sink)
+        bus.emit("map.done", cycle=9, key=(4, (True, False), 32),
+                 placements=7)
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    doc = json.loads(lines[0])
+    assert doc["type"] == "map.done"
+    assert doc["cycle"] == 9
+    assert doc["key"] == [4, [True, False], 32]
+    assert doc["placements"] == 7
+
+
+def test_aggregate_sink_counts_only():
+    sink = AggregateSink()
+    bus = EventBus(sink)
+    for _ in range(4):
+        bus.emit("ccache.hit", cycle=5, key=(1, (), 8))
+    bus.emit("ccache.ready", cycle=8, key=(1, (), 8))
+    assert sink.counts == {"ccache.hit": 4, "ccache.ready": 1}
+    assert sink.total == 5
+    assert sink.last_cycle == 8
+
+
+def test_tee_sink_fans_out():
+    memory, aggregate = MemorySink(), AggregateSink()
+    bus = EventBus(TeeSink(memory, aggregate))
+    bus.emit("fabric.reconfig", cycle=3, fabric=0,
+             key=(2, (), 8), evicted=None, stripes=4)
+    assert len(memory) == 1
+    assert aggregate.counts == {"fabric.reconfig": 1}
+
+
+def test_event_as_dict_flattens_payload():
+    event = Event(seq=3, type="offload.commit", cycle=42,
+                  data={"key": (1, (), 8), "instructions": 12})
+    doc = event.as_dict()
+    assert doc == {"seq": 3, "type": "offload.commit", "cycle": 42,
+                   "key": (1, (), 8), "instructions": 12}
+
+
+def test_registry_names_are_namespaced():
+    for name in EVENT_TYPES:
+        component, _, verb = name.partition(".")
+        assert component and verb, name

@@ -1,0 +1,80 @@
+"""Lifetime reports: folding the event stream into per-trace records."""
+
+from repro.harness.runner import run_dynaspam
+from repro.obs import (
+    MemorySink,
+    build_lifetime_report,
+    format_trace_id,
+    render_lifetime_report,
+    render_trace_detail,
+)
+
+
+def _traced_run(abbrev="KM", scale=0.05):
+    sink = MemorySink()
+    result = run_dynaspam(abbrev, scale, sink=sink)
+    return result, sink
+
+
+def test_format_trace_id():
+    assert format_trace_id((0x30, (True, False, True), 27)) == "0x30:TNT:27"
+    assert format_trace_id((4, (), 32)) == "0x4:-:32"
+
+
+def test_lifetimes_are_ordered_and_consistent():
+    result, sink = _traced_run()
+    report = build_lifetime_report(sink.events)
+    assert report.events == len(sink)
+    assert report.lifetimes, "no traces detected"
+    for trace in report.lifetimes.values():
+        # Milestones must be reached in lifecycle order.
+        stamps = [cycle for cycle, _ in trace.timeline()]
+        assert stamps == sorted(stamps), trace.trace_id
+        if trace.offloads:
+            assert trace.fate == "offloaded"
+            assert trace.mapped is not None
+            assert trace.ready is not None
+    # The fold's offload totals agree with the simulator's own accounting.
+    offloaded = [t for t in report.lifetimes.values() if t.offloads]
+    assert len(offloaded) == result.offloaded_traces
+    assert sum(t.offloads for t in offloaded) == \
+        result.stats.fabric_invocations
+
+
+def test_fate_counts_partition_the_traces():
+    _, sink = _traced_run()
+    report = build_lifetime_report(sink.events)
+    fates = report.counts()
+    assert sum(fates.values()) == len(report.lifetimes)
+
+
+def test_ranked_puts_heaviest_offloader_first():
+    _, sink = _traced_run()
+    report = build_lifetime_report(sink.events)
+    ranked = report.ranked()
+    assert ranked[0].offloads == max(
+        t.offloads for t in report.lifetimes.values()
+    )
+
+
+def test_render_table_and_summary():
+    _, sink = _traced_run()
+    report = build_lifetime_report(sink.events)
+    text = render_lifetime_report(report, top=5)
+    assert "traces detected" in text
+    assert "offloaded" in text
+    # top=5 caps the table body.
+    body = [line for line in text.splitlines() if line.startswith("0x")]
+    assert 0 < len(body) <= 5
+
+
+def test_render_trace_detail():
+    _, sink = _traced_run()
+    report = build_lifetime_report(sink.events)
+    best = report.ranked()[0]
+    detail = render_trace_detail(report, sink.events, best.trace_id)
+    assert detail is not None
+    assert best.trace_id in detail
+    assert "timeline:" in detail
+    assert "first offload" in detail
+    assert render_trace_detail(report, sink.events, "0xdead:-:1") is None

@@ -1,0 +1,104 @@
+"""Prometheus text exposition rendering."""
+
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+
+SNAPSHOT = {
+    "uptime_seconds": 12.5,
+    "jobs": {"submitted": 7, "rejected": 1, "completed": 5,
+             "failed": 1, "coalesced": 2},
+    "flights_in_flight": 3,
+    "queue": {"capacity": 64, "queued": 2, "running": 3, "open": 5,
+              "retained": 9, "draining": False},
+    "latency_seconds": {"count": 5, "p50": 0.2, "p90": 0.9,
+                        "p99": 1.5, "max": 1.5},
+    "latency_histogram": {
+        "buckets": [[0.1, 2], [1.0, 2], [None, 1]],
+        "sum": 3.3,
+        "count": 5,
+    },
+    "cache": {"run_memory_hits": 11, "runs_simulated": 4,
+              "disk": {"runs": {"hits": 6, "misses": 4}}},
+    "lifecycle": {"traces_mapped": 9, "fabric_invocations": 400,
+                  "squashes_branch": 12, "squashes_memory": 3},
+}
+
+
+def test_renders_counters_gauges_and_histogram():
+    text = render_prometheus(SNAPSHOT)
+    assert text.endswith("\n")
+    assert 'repro_jobs_total{outcome="completed"} 5' in text
+    assert 'repro_jobs_total{outcome="coalesced"} 2' in text
+    assert "repro_uptime_seconds 12.5" in text
+    assert 'repro_queue_jobs{state="queued"} 2' in text
+    assert "repro_queue_capacity 64" in text
+    assert "repro_queue_draining 0" in text
+    assert "repro_jobs_in_flight 3" in text
+    assert 'repro_cache_hits_total{layer="memory"} 11' in text
+    assert 'repro_cache_hits_total{layer="disk"} 6' in text
+    assert "repro_runs_simulated_total 4" in text
+    assert ('repro_lifecycle_events_total{event="fabric_invocations"} 400'
+            in text)
+    assert ('repro_lifecycle_events_total{event="squashes_memory"} 3'
+            in text)
+
+
+def test_histogram_buckets_are_cumulative_and_end_at_inf():
+    text = render_prometheus(SNAPSHOT)
+    assert 'repro_job_latency_seconds_bucket{le="0.1"} 2' in text
+    assert 'repro_job_latency_seconds_bucket{le="1.0"} 4' in text
+    assert 'repro_job_latency_seconds_bucket{le="+Inf"} 5' in text
+    assert "repro_job_latency_seconds_sum 3.3" in text
+    assert "repro_job_latency_seconds_count 5" in text
+
+
+def test_families_are_typed_and_helped():
+    text = render_prometheus(SNAPSHOT)
+    for family, kind in (
+        ("repro_jobs_total", "counter"),
+        ("repro_queue_jobs", "gauge"),
+        ("repro_job_latency_seconds", "histogram"),
+        ("repro_lifecycle_events_total", "counter"),
+    ):
+        assert f"# TYPE {family} {kind}" in text
+        assert f"# HELP {family} " in text
+
+
+def test_content_type_is_version_0_0_4():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_empty_snapshot_renders_zeroes():
+    text = render_prometheus({})
+    assert 'repro_jobs_total{outcome="submitted"} 0' in text
+    assert "repro_job_latency_seconds_bucket" not in text
+
+
+def test_latency_histogram_observe_buckets():
+    histogram = LatencyHistogram(buckets=(0.1, 1.0, None))
+    for value in (0.05, 0.5, 0.7, 5.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["buckets"] == [[0.1, 1], [1.0, 2], [None, 1]]
+    assert summary["count"] == 4
+    assert summary["sum"] == 0.05 + 0.5 + 0.7 + 5.0
+
+
+def test_observe_report_feeds_lifecycle_counters():
+    metrics = ServiceMetrics()
+    metrics.observe_report({
+        "mapped_traces": 4, "offloaded_traces": 2,
+        "fabric_invocations": 50, "reconfigurations": 3, "squashes": 10,
+        "stats": {"memory_violations": 4, "offloaded_instructions": 900},
+    })
+    snapshot = metrics.snapshot()
+    lifecycle = snapshot["lifecycle"]
+    assert lifecycle["traces_mapped"] == 4
+    assert lifecycle["fabric_invocations"] == 50
+    assert lifecycle["squashes_memory"] == 4
+    assert lifecycle["squashes_branch"] == 6
+    assert lifecycle["instructions_offloaded"] == 900
+    text = render_prometheus(snapshot)
+    assert 'repro_lifecycle_events_total{event="squashes_branch"} 6' in text
+    # Non-dict results (failed jobs) are ignored, not crashed on.
+    metrics.observe_report("boom")

@@ -74,6 +74,17 @@ def test_submit_poll_metrics_roundtrip(tmp_disk_cache):
         assert metrics["latency_seconds"]["p99"] >= metrics[
             "latency_seconds"]["p50"] >= 0
         assert "runs_simulated" in metrics["cache"]
+        assert metrics["latency_histogram"]["count"] >= 1
+        assert metrics["lifecycle"]["fabric_invocations"] == \
+            report["fabric_invocations"]
+
+        # Content negotiation: Accept: text/plain flips the same endpoint
+        # to Prometheus text exposition; the JSON default is untouched.
+        text = client.metrics_text()
+        assert "# TYPE repro_jobs_total counter" in text
+        assert 'repro_jobs_total{outcome="completed"} 1' in text
+        assert 'repro_job_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_queue_capacity 4" in text
 
         with pytest.raises(UnknownJob):
             client.job("job-does-not-exist")

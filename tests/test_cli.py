@@ -162,3 +162,69 @@ def test_serve_rejects_bad_knobs(capsys):
     assert "invalid --workers" in capsys.readouterr().err
     assert main(["serve", "--queue-depth", "0"]) == 2
     assert "invalid --queue-depth" in capsys.readouterr().err
+
+
+def test_run_json_stats_block_covers_every_counter(capsys):
+    import dataclasses
+
+    from repro.ooo.stats import PipelineStats
+
+    assert main(["run", "KM", "--scale", "0.05", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    field_names = {f.name for f in dataclasses.fields(PipelineStats)}
+    assert set(report["stats"]) == field_names
+    assert set(report["baseline_stats"]) == field_names
+
+
+def test_run_trace_out_keeps_json_stdout_pure(tmp_path, capsys):
+    trace_path = tmp_path / "km.trace.json"
+    assert main(["run", "KM", "--scale", "0.05", "--json",
+                 "--trace-out", str(trace_path)]) == 0
+    captured = capsys.readouterr()
+    report = json.loads(captured.out)     # stdout is a JSON doc, nothing else
+    assert report["benchmark"] == "KM"
+    assert "trace:" in captured.err
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_explain_command_table(capsys):
+    assert main(["explain", "KM", "--scale", "0.05", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "traces detected" in out
+    assert "offloaded" in out
+    body = [line for line in out.splitlines() if line.startswith("0x")]
+    assert 0 < len(body) <= 3
+
+
+def test_explain_command_trace_detail(capsys):
+    assert main(["explain", "KM", "--scale", "0.05", "--top", "1"]) == 0
+    table = capsys.readouterr().out
+    trace_id = next(
+        line.split()[0] for line in table.splitlines()
+        if line.startswith("0x")
+    )
+    assert main(["explain", "KM", "--scale", "0.05",
+                 "--trace-id", trace_id]) == 0
+    detail = capsys.readouterr().out
+    assert trace_id in detail
+    assert "timeline:" in detail
+
+
+def test_explain_unknown_trace_id(capsys):
+    assert main(["explain", "KM", "--scale", "0.05",
+                 "--trace-id", "0xdead:-:1"]) == 2
+    assert "no trace" in capsys.readouterr().err
+
+
+def test_bench_report_records_tracing_disabled(tmp_path, capsys):
+    import repro.harness.diskcache as diskcache
+
+    out_path = tmp_path / "bench.json"
+    try:
+        assert main(["bench", "--scale", "0.05", "--no-cache",
+                     "--output", str(out_path)]) == 0
+    finally:
+        diskcache.configure()
+    report = json.loads(out_path.read_text())
+    assert report["tracing"] is False
