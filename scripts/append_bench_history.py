@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Append one bench-history record to a JSONL ledger.
+
+Usage::
+
+    python scripts/append_bench_history.py BENCH.json .bench_history.jsonl
+
+Reads a ``repro bench`` report and appends a single-line JSON record —
+timestamp, commit, geomeans, accounting bucket totals, wall clock — so
+the performance trajectory accumulates run over run.  The CI bench job
+runs this after the regression gate and uploads the ledger with the
+dashboard artifact; locally it works the same way against any report.
+
+Timestamp and commit come from the CI environment when present
+(``GITHUB_RUN_STARTED_AT`` / ``GITHUB_SHA``), falling back to the
+current UTC time and ``git rev-parse HEAD``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def _timestamp() -> str:
+    stamped = os.environ.get("GITHUB_RUN_STARTED_AT")
+    if stamped:
+        return stamped
+    return (datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds"))
+
+
+def _commit() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, check=True, timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def bucket_totals(report: dict) -> dict:
+    """Suite-wide cycles per bucket and series, summed over benchmarks."""
+    totals: dict[str, dict[str, int]] = {}
+    for by_series in (report.get("accounting") or {}).values():
+        for series, breakdown in by_series.items():
+            series_totals = totals.setdefault(series, {})
+            for name, cycles in (breakdown.get("buckets") or {}).items():
+                series_totals[name] = series_totals.get(name, 0) + cycles
+    return totals
+
+
+def history_record(report: dict) -> dict:
+    return {
+        "timestamp": _timestamp(),
+        "commit": _commit(),
+        "schema_version": report.get("schema_version"),
+        "code_fingerprint": report.get("code_fingerprint"),
+        "scale": report.get("scale"),
+        "cold": report.get("cold"),
+        "wall_clock_seconds": report.get("wall_clock_seconds"),
+        "geomean": report.get("geomean", {}),
+        "bucket_totals": bucket_totals(report),
+        "warnings": report.get("warnings", []),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path)
+    parser.add_argument("history", type=Path)
+    args = parser.parse_args(argv)
+
+    try:
+        report = json.loads(args.report.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"append_bench_history: cannot read {args.report}: {exc}",
+              file=sys.stderr)
+        return 1
+    record = history_record(report)
+    with args.history.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {record['commit'][:12]} @ {record['timestamp']} "
+          f"-> {args.history} "
+          f"(geomean spec {record['geomean'].get('spec', 0):.3f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

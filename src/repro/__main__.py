@@ -9,8 +9,10 @@ Usage::
                            [--trace-out km.trace.json]
     python -m repro explain KM [--scale 0.5] [--top 10]
                                [--trace-id 0x1a4:TNT:32]
+    python -m repro analyze KM [--scale 0.5] [--baseline host]
+    python -m repro diff A.json B.json [--json] [--force]
     python -m repro bench [--scale 1.0] [--jobs 4] [--no-cache] [--cold]
-                          [--output BENCH_speedup.json]
+                          [--output BENCH_speedup.json] [--dashboard DIR]
     python -m repro serve [--port 8763] [--workers 2] [--queue-depth 64]
     python -m repro submit KM [--scale 0.5] [--wait] [--port 8763]
     python -m repro harness fig8 [--scale 1.0] [--jobs 4]  # = repro.harness
@@ -24,6 +26,14 @@ or chrome://tracing); the simulated numbers are bit-identical either way.
 ``explain`` replays the same event stream into per-trace lifetime
 reports: when each trace was detected, went hot, got mapped, turned
 ready, and how often it offloaded or squashed.
+``analyze`` prints the top-down cycle-accounting breakdown — every
+simulated cycle charged to exactly one bucket — side by side for the
+host, mapping-only, and accelerated runs, with a conservation check
+(nonzero exit if any bucket leaks) and the fabric-utilization summary.
+``diff`` compares two report JSON files (``run --json`` or ``bench``
+documents) and attributes each per-benchmark cycle delta to bucket
+deltas; it refuses mismatched report schema versions unless ``--force``
+and warns when the code fingerprints differ.
 ``bench`` times the full Figure 8 sweep and writes a machine-readable
 speedup/timing report so the performance trajectory is tracked PR over PR
 (``--cold`` bypasses the caches so the timing measures real simulation).
@@ -161,12 +171,82 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """Top-down cycle breakdown per mode + conservation + fabric stats."""
+    from repro.harness.runner import run_baseline, run_dynaspam
+    from repro.obs.accounting import (
+        bucket_breakdown,
+        render_breakdown,
+        render_conservation,
+        render_utilization,
+    )
+
+    benchmark = _validate_run_args(args)
+    if benchmark is None:
+        return 2
+    base = run_baseline(benchmark, args.scale)
+    mapping = run_dynaspam(
+        benchmark, args.scale, mode="mapping_only",
+        trace_length=args.trace_length, num_fabrics=args.fabrics,
+    )
+    spec = run_dynaspam(
+        benchmark, args.scale,
+        trace_length=args.trace_length, num_fabrics=args.fabrics,
+    )
+    columns = {
+        "host": bucket_breakdown(base.stats.as_dict()),
+        "mapping": bucket_breakdown(mapping.stats.as_dict()),
+        "spec": bucket_breakdown(spec.stats.as_dict()),
+    }
+    print(f"{benchmark} @ scale {args.scale}: cycle accounting "
+          f"(baseline column: {args.baseline})")
+    baseline_column = "host" if args.baseline == "host" else "mapping"
+    print(render_breakdown(columns, baseline=baseline_column))
+    print()
+    print(render_conservation(columns))
+    print()
+    print(render_utilization(spec.fabric_utilization))
+    if not all(c["conserved"] for c in columns.values()):
+        print("repro: error: cycle accounting is not conserved",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Attribute the cycle delta between two report JSON files."""
+    from repro.obs.diffing import (
+        DiffError,
+        diff_reports,
+        load_report,
+        render_diff,
+    )
+
+    try:
+        report_a = load_report(args.report_a)
+        report_b = load_report(args.report_b)
+        diff = diff_reports(report_a, report_b, force=args.force)
+    except DiffError as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(render_diff(diff, label_a=args.report_a,
+                          label_b=args.report_b))
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Timed Figure 8 sweep -> machine-readable speedup/timing report."""
     import repro.harness.diskcache as diskcache
-    from repro.harness import figure8_performance
+    from repro.harness import (
+        figure8_accounting,
+        figure8_performance,
+        speedup_warnings,
+    )
     from repro.harness.__main__ import apply_cache_arguments
     from repro.harness.profiling import PROFILER
+    from repro.harness.runner import report_provenance
 
     apply_cache_arguments(args)
     if args.cold:
@@ -188,7 +268,14 @@ def cmd_bench(args) -> int:
     disk_hits = sum(ns.get("hits", 0) for ns in cache_stats.values())
     runs_simulated = PROFILER.counters.get("runs_simulated", 0)
     served = memory_hits + disk_hits
+    profile = PROFILER.snapshot()
+    # Cache/profile counters are frozen above: the accounting pass below
+    # re-reads the sweep's runs from the in-process cache (zero extra
+    # simulation) and must not leak its cache hits into the timing report.
+    accounting, fabric_utilization = figure8_accounting(args.scale)
+    warnings = speedup_warnings(result)
     report = {
+        **report_provenance(),
         "experiment": "fig8",
         "scale": args.scale,
         "jobs": args.jobs,
@@ -204,6 +291,14 @@ def cmd_bench(args) -> int:
             for series in ("mapping", "no_spec", "spec")
         },
         "per_benchmark": result.speedups,
+        # One warning per series whose geomean dipped below 1.0x (also
+        # echoed on stderr below).
+        "warnings": warnings,
+        # Per-benchmark cycle accounting and accelerated-run fabric
+        # occupancy — derived from the sweep's own stats, the inputs of
+        # `repro diff` and the --dashboard renderer.
+        "accounting": accounting,
+        "fabric_utilization": fabric_utilization,
         "cache": {
             "disk": cache_stats,
             "memory_hits": memory_hits,
@@ -214,7 +309,7 @@ def cmd_bench(args) -> int:
             "predict_memo_misses": PROFILER.counters.get(
                 "predict_memo_misses", 0),
         },
-        "profile": PROFILER.snapshot(),
+        "profile": profile,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
@@ -223,6 +318,13 @@ def cmd_bench(args) -> int:
           f"wall clock {wall_clock:.2f}s | "
           f"cache hit ratio {report['cache']['hit_ratio']:.0%}"
           f"{' (cold)' if args.cold else ''} | report -> {args.output}")
+    for warning in warnings:
+        print(f"repro: warning: {warning}", file=sys.stderr)
+    if args.dashboard:
+        from repro.obs.dashboard import write_dashboard
+
+        path = write_dashboard(report, args.dashboard)
+        print(f"dashboard -> {path}")
     if args.profile:
         from repro.harness.__main__ import print_profile
 
@@ -327,6 +429,27 @@ def main(argv=None) -> int:
         help="full event timeline for one trace (id as printed in the "
              "table, e.g. 0x1a4:TNT:32)")
 
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="top-down cycle-accounting breakdown for one benchmark")
+    analyze_parser.add_argument("benchmark")
+    analyze_parser.add_argument("--scale", type=float, default=1.0)
+    analyze_parser.add_argument("--fabrics", type=int, default=1)
+    analyze_parser.add_argument("--trace-length", type=int, default=32)
+    analyze_parser.add_argument(
+        "--baseline", default="host", choices=["host", "mapping"],
+        help="column the delta columns are computed against")
+
+    diff_parser = sub.add_parser(
+        "diff", help="attribute the cycle delta between two report files")
+    diff_parser.add_argument("report_a", metavar="A.json")
+    diff_parser.add_argument("report_b", metavar="B.json")
+    diff_parser.add_argument("--json", action="store_true",
+                             help="machine-readable attribution document")
+    diff_parser.add_argument(
+        "--force", action="store_true",
+        help="compare even across report schema versions")
+
     bench_parser = sub.add_parser(
         "bench", help="timed Figure 8 sweep with a JSON report")
     bench_parser.add_argument("--scale", type=float, default=1.0)
@@ -334,6 +457,10 @@ def main(argv=None) -> int:
     bench_parser.add_argument(
         "--cold", action="store_true",
         help="bypass the run/disk caches so timing measures simulation")
+    bench_parser.add_argument(
+        "--dashboard", metavar="DIR", default=None,
+        help="also render the report as a self-contained HTML dashboard "
+             "(DIR/index.html)")
     add_cache_arguments(bench_parser)
 
     serve_parser = sub.add_parser(
@@ -373,6 +500,10 @@ def main(argv=None) -> int:
         return cmd_run(args)
     if args.command == "explain":
         return cmd_explain(args)
+    if args.command == "analyze":
+        return cmd_analyze(args)
+    if args.command == "diff":
+        return cmd_diff(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "serve":

@@ -82,6 +82,9 @@ class DynaSpAMResult:
     lifetimes: list[int] = field(default_factory=list)
     squashes: int = 0
     reconfigurations: int = 0
+    #: Pool-wide occupancy summary (``FabricPool.utilization``): placed-PE
+    #: ratio, per-stripe occupancy, configuration reuse distance.
+    fabric_utilization: dict = field(default_factory=dict)
 
     @property
     def stats(self) -> PipelineStats:
@@ -256,7 +259,9 @@ class DynaSpAM:
             # penalty) on the host path; the fat entry's squash itself only
             # costs the ROB' detection bubble.
             seq, dispatch = self.pipeline.macro_dispatch()
-            self.pipeline.stall_fetch_until(dispatch + TRACE_SQUASH_DETECT)
+            self.pipeline.stall_fetch_until(
+                dispatch + TRACE_SQUASH_DETECT, cause="squash_branch"
+            )
             if self.bus is not None:
                 self.bus.emit(
                     "offload.squash",
@@ -304,7 +309,7 @@ class DynaSpAM:
             # Mapping rides the issue unit while the trace instructions
             # execute on the host; fetch resumes once mapping finishes.
             self.pipeline.stall_fetch_until(
-                drained + configuration.mapping_cycles
+                drained + configuration.mapping_cycles, cause="mapping"
             )
         for dyn in segment:
             self._host_step(dyn, mapping_phase=True)
@@ -429,4 +434,5 @@ class DynaSpAM:
             lifetimes=self.pool.lifetimes(),
             squashes=self._squashes,
             reconfigurations=self.pool.reconfigurations,
+            fabric_utilization=self.pool.utilization(),
         )

@@ -30,6 +30,13 @@ class FabricPool:
         ]
         self._lru: list[int] = list(range(num_fabrics))
         self.reconfigurations = 0
+        # Configuration reuse distance: reconfigurations between two loads
+        # of the same trace key, across the whole pool.  A reload with a
+        # short distance is thrash the config cache / more fabrics would
+        # have absorbed (repro.obs.accounting surfaces the summary).
+        self._load_seq = 0
+        self._last_loaded: dict[tuple, int] = {}
+        self.reuse_distances: list[int] = []
 
     def _touch(self, fabric_id: int) -> None:
         self._lru.remove(fabric_id)
@@ -69,6 +76,11 @@ class FabricPool:
             return None
         ready = victim.configure(configuration, cycle)
         self.reconfigurations += 1
+        self._load_seq += 1
+        last = self._last_loaded.get(key)
+        if last is not None:
+            self.reuse_distances.append(self._load_seq - last)
+        self._last_loaded[key] = self._load_seq
         self._touch(victim.fabric_id)
         return victim, ready
 
@@ -82,3 +94,62 @@ class FabricPool:
     @property
     def total_invocations(self) -> int:
         return sum(f.total_invocations for f in self.fabrics)
+
+    def utilization(self) -> dict:
+        """Pool-wide fabric occupancy summary (JSON-ready).
+
+        Every fabric in the pool shares one geometry, so per-stripe counts
+        merge by index.  Ratios are invocation-weighted: an invocation of a
+        configuration occupying 10 of 192 PEs contributes 10/192 to
+        ``placed_pe_ratio`` regardless of how long it ran.
+        """
+        cfg = self.fabric_config
+        invocations = self.total_invocations
+        num_stripes = cfg.num_stripes
+        placed = [0] * num_stripes
+        touched = [0] * num_stripes
+        placed_pe_invocations = 0
+        filled_stripe_invocations = 0
+        for fabric in self.fabrics:
+            for stripe in range(num_stripes):
+                placed[stripe] += fabric.stripe_placed_invocations[stripe]
+                touched[stripe] += fabric.stripe_invocations[stripe]
+            placed_pe_invocations += fabric.placed_pe_invocations
+            filled_stripe_invocations += fabric.filled_stripe_invocations
+        total_pes = sum(cfg.pes_in_stripe(s) for s in range(num_stripes))
+        per_stripe = [
+            {
+                "stripe": stripe,
+                "pes": cfg.pes_in_stripe(stripe),
+                "placed_pe_invocations": placed[stripe],
+                "invocations": touched[stripe],
+                "occupancy": (
+                    placed[stripe]
+                    / (cfg.pes_in_stripe(stripe) * invocations)
+                    if invocations else 0.0
+                ),
+            }
+            for stripe in range(num_stripes)
+        ]
+        reuse: dict = {"count": len(self.reuse_distances)}
+        if self.reuse_distances:
+            reuse["mean"] = (
+                sum(self.reuse_distances) / len(self.reuse_distances))
+            reuse["max"] = max(self.reuse_distances)
+        return {
+            "num_fabrics": len(self.fabrics),
+            "num_stripes": num_stripes,
+            "total_pes": total_pes,
+            "total_invocations": invocations,
+            "reconfigurations": self.reconfigurations,
+            "placed_pe_ratio": (
+                placed_pe_invocations / (total_pes * invocations)
+                if invocations else 0.0
+            ),
+            "stripe_fill": (
+                filled_stripe_invocations / (num_stripes * invocations)
+                if invocations else 0.0
+            ),
+            "per_stripe": per_stripe,
+            "reuse_distance": reuse,
+        }

@@ -124,7 +124,8 @@ class OffloadEngine:
                 pipeline.storesets.train_violation(load_pc, store_pc)
             self.siderob.squash(entry, detect)
             pipeline.stall_fetch_until(
-                detect + pipeline.config.violation_squash_penalty
+                detect + pipeline.config.violation_squash_penalty,
+                cause="squash_memory",
             )
             if self.bus is not None:
                 self.bus.emit(

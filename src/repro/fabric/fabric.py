@@ -109,6 +109,19 @@ class SpatialFabric:
         # Power-gating accounting: (active PEs, total PEs) per configuration.
         self.active_pes: int = 0
 
+        # Occupancy statistics (repro.obs.accounting): per-stripe placed-op
+        # counts of the current configuration, accumulated per invocation.
+        self._current_stripe_placed: list[int] = [0] * self.config.num_stripes
+        #: stripe -> sum over invocations of ops placed on that stripe.
+        self.stripe_placed_invocations: list[int] = (
+            [0] * self.config.num_stripes)
+        #: stripe -> invocations with at least one op on that stripe.
+        self.stripe_invocations: list[int] = [0] * self.config.num_stripes
+        #: sum over invocations of PEs the invocation's config occupied.
+        self.placed_pe_invocations: int = 0
+        #: sum over invocations of stripes the invocation's config touched.
+        self.filled_stripe_invocations: int = 0
+
     # ------------------------------------------------------------------
     # Configuration management
     # ------------------------------------------------------------------
@@ -132,6 +145,10 @@ class SpatialFabric:
         self.invocations_on_current = 0
         self.reconfigurations += 1
         self.active_pes = configuration.pes_used
+        placed = [0] * self.config.num_stripes
+        for op in configuration.placements:
+            placed[op.stripe] += 1
+        self._current_stripe_placed = placed
         self.last_liveout_times = {}
         self.last_invocation_start = cycle
         self.fifo = FifoModel(self.config.fifo_depth)
@@ -232,6 +249,12 @@ class SpatialFabric:
         self.last_liveout_times = dict(liveout_ready)
         self.invocations_on_current += 1
         self.total_invocations += 1
+        for stripe, placed in enumerate(self._current_stripe_placed):
+            if placed:
+                self.stripe_placed_invocations[stripe] += placed
+                self.stripe_invocations[stripe] += 1
+                self.filled_stripe_invocations += 1
+        self.placed_pe_invocations += len(configuration.placements)
 
         if occupancy is None:
             occupancy = complete - start

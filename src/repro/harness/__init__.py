@@ -24,8 +24,10 @@ from repro.harness.parallel import (
 )
 from repro.harness.experiments import (
     figure7_coverage,
+    figure8_accounting,
     figure8_performance,
     figure9_energy,
+    speedup_warnings,
     table3_benchmarks,
     table4_parameters,
     table5_lifetime,
@@ -39,8 +41,10 @@ __all__ = [
     "dynaspam_spec",
     "execute_runs",
     "figure7_coverage",
+    "figure8_accounting",
     "figure8_performance",
     "figure9_energy",
+    "speedup_warnings",
     "max_jobs",
     "run_baseline",
     "run_dynaspam",

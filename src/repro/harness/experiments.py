@@ -256,6 +256,62 @@ def figure8_performance(
     return result
 
 
+def speedup_warnings(result: PerformanceResult) -> list[str]:
+    """Regression callouts for a Figure 8 sweep (``repro bench``).
+
+    One warning per series whose geomean dips below 1.0x — i.e. DynaSpAM
+    made the suite *slower* than the host pipeline on average — naming
+    the worst benchmark so the reader knows where to point
+    ``repro analyze``.
+    """
+    warnings = []
+    for series in ("mapping", "no_spec", "spec"):
+        geo = result.series_geomean(series)
+        if geo < 1.0:
+            worst = min(result.speedups,
+                        key=lambda a: result.speedups[a][series])
+            warnings.append(
+                f"geomean speedup for '{series}' is {geo:.3f}x (< 1.0x): "
+                f"suite runs slower than the host pipeline; worst is "
+                f"{worst} at {result.speedups[worst][series]:.3f}x — "
+                f"try `repro analyze {worst}`"
+            )
+    return warnings
+
+
+def figure8_accounting(scale: float = 1.0) -> tuple[dict, dict]:
+    """Cycle accounting + fabric utilization for the Figure 8 runs.
+
+    Resolves every run through the layered caches — called right after
+    :func:`figure8_performance` it re-reads the in-process results and
+    simulates nothing, so attaching accounting to a bench report costs no
+    wall clock and cannot perturb its timings.
+
+    Returns ``(accounting, fabric_utilization)``:
+    ``accounting[abbrev][series]`` is a ``bucket_breakdown`` dict and
+    ``fabric_utilization[abbrev]`` the accelerated run's pool summary.
+    """
+    from repro.obs.accounting import bucket_breakdown
+
+    accounting: dict[str, dict] = {}
+    fabric_utilization: dict[str, dict] = {}
+    for abbrev in PAPER_ORDER:
+        spec_run = run_dynaspam(abbrev, scale)
+        accounting[abbrev] = {
+            "baseline": bucket_breakdown(
+                run_baseline(abbrev, scale).stats.as_dict()),
+            "mapping": bucket_breakdown(
+                run_dynaspam(abbrev, scale,
+                             mode="mapping_only").stats.as_dict()),
+            "no_spec": bucket_breakdown(
+                run_dynaspam(abbrev, scale,
+                             speculation=False).stats.as_dict()),
+            "spec": bucket_breakdown(spec_run.stats.as_dict()),
+        }
+        fabric_utilization[abbrev] = spec_run.fabric_utilization
+    return accounting, fabric_utilization
+
+
 # ---------------------------------------------------------------------------
 # Figure 9: energy comparison
 # ---------------------------------------------------------------------------

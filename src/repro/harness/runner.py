@@ -29,6 +29,21 @@ from repro.ooo.config import CoreConfig
 from repro.ooo.pipeline import OOOPipeline, PipelineResult
 from repro.workloads import generate_trace
 
+#: Version of the JSON report layout shared by ``repro run --json``,
+#: ``repro bench`` reports, and service job results.  ``repro diff``
+#: refuses to attribute across different schema versions.  Bump when a
+#: report field changes meaning; adding fields does not require a bump.
+REPORT_SCHEMA_VERSION = 2
+
+
+def report_provenance() -> dict:
+    """The identity block every JSON report carries (``repro diff`` reads
+    it to warn on cross-version comparisons)."""
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "code_fingerprint": diskcache.code_fingerprint(),
+    }
+
 
 def freeze_config(obj) -> Any:
     """Recursively freeze a config dataclass into a hashable, stable tuple."""
@@ -254,6 +269,7 @@ def simulation_report(
     reported number.
     """
     from repro.energy import EnergyModel
+    from repro.obs.accounting import bucket_breakdown
 
     run = generate_trace(abbrev, scale)
     baseline = run_baseline(abbrev, scale)
@@ -266,6 +282,7 @@ def simulation_report(
     base_energy = model.breakdown(baseline.stats)
     dyna_energy = model.breakdown(result.stats)
     return {
+        **report_provenance(),
         "benchmark": abbrev,
         "scale": scale,
         "mode": mode,
@@ -284,6 +301,14 @@ def simulation_report(
         "reconfigurations": result.reconfigurations,
         "energy_reduction": dyna_energy.reduction_vs(base_energy),
         "energy_components_normalized": dyna_energy.normalized_to(base_energy),
+        # Top-down cycle accounting (repro.obs.accounting): exclusive
+        # buckets summing exactly to each run's cycles, plus the fabric
+        # occupancy summary — the inputs of `repro analyze` / `repro diff`.
+        "cycle_accounting": {
+            "baseline": bucket_breakdown(baseline.stats.as_dict()),
+            "dynaspam": bucket_breakdown(result.stats.as_dict()),
+        },
+        "fabric_utilization": result.fabric_utilization,
         # Full counter blocks, generated from dataclasses.fields so a new
         # PipelineStats counter can never be silently omitted from --json.
         "stats": result.stats.as_dict(),

@@ -26,6 +26,22 @@ from repro.obs.lifetime import (
     render_trace_detail,
 )
 from repro.obs.chrometrace import build_chrome_trace, write_chrome_trace
+from repro.obs.accounting import (
+    BUCKET_FIELDS,
+    BUCKETS,
+    bucket_breakdown,
+    check_conservation,
+    render_breakdown,
+    render_conservation,
+    render_utilization,
+)
+from repro.obs.diffing import (
+    DiffError,
+    diff_reports,
+    load_report,
+    render_diff,
+)
+from repro.obs.dashboard import render_dashboard, write_dashboard
 
 __all__ = [
     "EVENT_TYPES",
@@ -45,4 +61,17 @@ __all__ = [
     "render_trace_detail",
     "build_chrome_trace",
     "write_chrome_trace",
+    "BUCKET_FIELDS",
+    "BUCKETS",
+    "bucket_breakdown",
+    "check_conservation",
+    "render_breakdown",
+    "render_conservation",
+    "render_utilization",
+    "DiffError",
+    "diff_reports",
+    "load_report",
+    "render_diff",
+    "render_dashboard",
+    "write_dashboard",
 ]

@@ -1,0 +1,226 @@
+"""Run-comparison engine: attribute cycle deltas between two reports.
+
+``repro diff A.json B.json`` consumes two JSON reports — either two
+``repro run --json`` documents or two ``repro bench`` reports — and
+explains each per-benchmark cycle delta as a sum of accounting-bucket
+deltas.  Because both sides' buckets are conserved partitions of their
+total cycles (``repro.obs.accounting``), the named buckets attribute the
+whole delta whenever the schemas match; any residual (e.g. a bucket one
+side lacks) is reported explicitly instead of silently absorbed.
+
+Cross-version hygiene: reports carry ``schema_version`` and the repo's
+``code_fingerprint``.  Differing schema versions are refused (the buckets
+may not mean the same thing); differing fingerprints produce a warning —
+that comparison is the tool's whole point, but the reader should know the
+two runs came from different code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.accounting import BUCKETS
+
+
+class DiffError(ValueError):
+    """The two reports cannot be meaningfully compared."""
+
+
+def load_report(path) -> dict:
+    try:
+        report = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DiffError(f"cannot read report {path}: {exc}") from exc
+    if not isinstance(report, dict):
+        raise DiffError(f"{path} is not a JSON report object")
+    return report
+
+
+def report_kind(report: dict) -> str:
+    """``"bench"`` (fig8 sweep) or ``"run"`` (single benchmark)."""
+    if "per_benchmark" in report:
+        return "bench"
+    if "benchmark" in report:
+        return "run"
+    raise DiffError(
+        "unrecognized report shape: expected a `repro run --json` or "
+        "`repro bench` document"
+    )
+
+
+def check_compatibility(a: dict, b: dict, force: bool = False) -> list[str]:
+    """Refuse or warn on cross-version comparisons; returns warnings."""
+    warnings: list[str] = []
+    ver_a = a.get("schema_version")
+    ver_b = b.get("schema_version")
+    if ver_a != ver_b:
+        message = (
+            f"schema versions differ ({ver_a} vs {ver_b}): bucket "
+            "definitions may not line up"
+        )
+        if not force:
+            raise DiffError(message + " (pass --force to compare anyway)")
+        warnings.append(message)
+    elif ver_a is None:
+        message = ("reports carry no schema_version: produced before "
+                   "cycle accounting existed")
+        if not force:
+            raise DiffError(message + " (pass --force to compare anyway)")
+        warnings.append(message)
+    fp_a = a.get("code_fingerprint")
+    fp_b = b.get("code_fingerprint")
+    if fp_a and fp_b and fp_a != fp_b:
+        warnings.append(
+            f"code fingerprints differ ({fp_a[:12]} vs {fp_b[:12]}): "
+            "comparing runs from different code versions"
+        )
+    if report_kind(a) != report_kind(b):
+        raise DiffError(
+            f"cannot compare a {report_kind(a)} report against a "
+            f"{report_kind(b)} report"
+        )
+    return warnings
+
+
+def _entry(benchmark: str, series: str,
+           acct_a: dict, acct_b: dict,
+           speedup_a: float | None, speedup_b: float | None) -> dict:
+    """Attribution record for one (benchmark, series) pair."""
+    buckets_a = acct_a.get("buckets", {})
+    buckets_b = acct_b.get("buckets", {})
+    cycles_a = int(acct_a.get("total_cycles", 0))
+    cycles_b = int(acct_b.get("total_cycles", 0))
+    delta = cycles_b - cycles_a
+    bucket_deltas = {
+        name: int(buckets_b.get(name, 0)) - int(buckets_a.get(name, 0))
+        for name in BUCKETS
+    }
+    attributed = sum(bucket_deltas.values())
+    residual = delta - attributed
+    return {
+        "benchmark": benchmark,
+        "series": series,
+        "cycles_a": cycles_a,
+        "cycles_b": cycles_b,
+        "delta_cycles": delta,
+        "speedup_a": speedup_a,
+        "speedup_b": speedup_b,
+        "bucket_deltas": bucket_deltas,
+        "residual": residual,
+        "attributed_fraction": (
+            1.0 if delta == residual == 0
+            else 1.0 - abs(residual) / max(1, abs(delta))
+        ),
+    }
+
+
+def _diff_run_reports(a: dict, b: dict) -> list[dict]:
+    if a.get("benchmark") != b.get("benchmark"):
+        raise DiffError(
+            f"reports describe different benchmarks "
+            f"({a.get('benchmark')} vs {b.get('benchmark')})"
+        )
+    entries = []
+    for series in ("baseline", "dynaspam"):
+        acct_a = (a.get("cycle_accounting") or {}).get(series)
+        acct_b = (b.get("cycle_accounting") or {}).get(series)
+        if acct_a is None or acct_b is None:
+            continue
+        entries.append(_entry(
+            a["benchmark"], series, acct_a, acct_b,
+            a.get("speedup") if series == "dynaspam" else 1.0,
+            b.get("speedup") if series == "dynaspam" else 1.0,
+        ))
+    if not entries:
+        raise DiffError(
+            "reports carry no cycle_accounting block: regenerate them "
+            "with this version's `repro run --json`"
+        )
+    return entries
+
+
+def _diff_bench_reports(a: dict, b: dict) -> list[dict]:
+    acct_a = a.get("accounting") or {}
+    acct_b = b.get("accounting") or {}
+    if not acct_a or not acct_b:
+        raise DiffError(
+            "bench reports carry no accounting block: regenerate them "
+            "with this version's `repro bench`"
+        )
+    entries = []
+    for benchmark in acct_a:
+        if benchmark not in acct_b:
+            continue
+        for series in acct_a[benchmark]:
+            if series not in acct_b[benchmark]:
+                continue
+            speed_a = (a.get("per_benchmark", {}).get(benchmark, {})
+                       .get(series))
+            speed_b = (b.get("per_benchmark", {}).get(benchmark, {})
+                       .get(series))
+            entries.append(_entry(
+                benchmark, series,
+                acct_a[benchmark][series], acct_b[benchmark][series],
+                speed_a, speed_b,
+            ))
+    if not entries:
+        raise DiffError("the two bench reports share no benchmark/series")
+    return entries
+
+
+def diff_reports(a: dict, b: dict, force: bool = False) -> dict:
+    """Full machine-readable diff of two loaded reports."""
+    warnings = check_compatibility(a, b, force=force)
+    kind = report_kind(a)
+    if kind == "run":
+        entries = _diff_run_reports(a, b)
+    else:
+        entries = _diff_bench_reports(a, b)
+        for series, geo_a in (a.get("geomean") or {}).items():
+            geo_b = (b.get("geomean") or {}).get(series)
+            if geo_b is not None and abs(geo_b - geo_a) > 1e-12:
+                warnings.append(
+                    f"geomean[{series}] moved {geo_a:.4f}x -> {geo_b:.4f}x"
+                )
+    return {
+        "kind": kind,
+        "schema_version": a.get("schema_version"),
+        "fingerprint_a": a.get("code_fingerprint"),
+        "fingerprint_b": b.get("code_fingerprint"),
+        "warnings": warnings,
+        "entries": entries,
+    }
+
+
+def render_diff(diff: dict, label_a: str = "A", label_b: str = "B") -> str:
+    """Human-readable attribution, one block per (benchmark, series)."""
+    lines = [f"repro diff: {label_a} vs {label_b} ({diff['kind']} reports)"]
+    for warning in diff["warnings"]:
+        lines.append(f"warning: {warning}")
+    for entry in diff["entries"]:
+        speed = ""
+        if entry["speedup_a"] is not None and entry["speedup_b"] is not None:
+            speed = (f", speedup {entry['speedup_a']:.2f}x -> "
+                     f"{entry['speedup_b']:.2f}x")
+        lines.append(
+            f"\n{entry['benchmark']} [{entry['series']}]: "
+            f"{entry['cycles_a']} -> {entry['cycles_b']} cycles "
+            f"({entry['delta_cycles']:+d}{speed})"
+        )
+        moved = sorted(
+            ((name, delta) for name, delta in entry["bucket_deltas"].items()
+             if delta),
+            key=lambda item: -abs(item[1]),
+        )
+        if moved:
+            lines.append("  " + " | ".join(
+                f"{name} {delta:+d}" for name, delta in moved))
+        else:
+            lines.append("  no bucket moved")
+        lines.append(
+            f"  residual {entry['residual']:+d} "
+            f"({entry['attributed_fraction']:.1%} of the delta attributed "
+            "to named buckets)"
+        )
+    return "\n".join(lines)

@@ -19,9 +19,13 @@ Exposed families::
     repro_cache_hits_total{layer=...}     counter
     repro_runs_simulated_total            counter
     repro_lifecycle_events_total{event=}  counter (simulated lifecycle)
+    repro_cycle_bucket_cycles_total{bucket=}  counter (cycle accounting)
+    repro_fabric_utilization{stat=...}    gauge (invocation-weighted)
 """
 
 from __future__ import annotations
+
+from repro.obs.accounting import BUCKETS
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -141,5 +145,24 @@ def render_prometheus(snapshot: dict) -> str:
                   "squashes_memory"):
         w.sample("repro_lifecycle_events_total", lifecycle.get(event, 0),
                  {"event": event})
+
+    buckets = snapshot.get("cycle_buckets", {})
+    w.family("repro_cycle_bucket_cycles_total", "counter",
+             "Simulated cycles by accounting bucket (accelerated runs) "
+             "across completed jobs; buckets partition each run's total.")
+    for bucket in BUCKETS:
+        w.sample("repro_cycle_bucket_cycles_total", buckets.get(bucket, 0),
+                 {"bucket": bucket})
+
+    fabric = snapshot.get("fabric_utilization", {})
+    w.family("repro_fabric_utilization", "gauge",
+             "Invocation-weighted fabric occupancy across completed jobs.")
+    for stat in ("placed_pe_ratio", "stripe_fill"):
+        w.sample("repro_fabric_utilization", fabric.get(stat, 0.0),
+                 {"stat": stat})
+    w.family("repro_fabric_invocations_observed_total", "counter",
+             "Fabric invocations contributing to the utilization gauges.")
+    w.sample("repro_fabric_invocations_observed_total",
+             fabric.get("invocations_observed", 0))
 
     return w.render()

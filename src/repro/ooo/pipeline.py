@@ -137,6 +137,26 @@ class OOOPipeline:
         self.last_commit_cycle = 0
         self._last_fetch_block: int | None = None
 
+        # Top-down cycle accounting.  Front-end stalls accrue here as
+        # pending credits by cause; ``_alloc_commit`` realizes them when
+        # the commit stream actually gaps, so hidden stalls are never
+        # charged and the buckets partition the commit timeline exactly
+        # (see repro.obs.accounting).
+        self._stall_credit: dict[str, int] = {
+            "squash_memory": 0,
+            "squash_branch": 0,
+            "drain": 0,
+            "mapping": 0,
+            "frontend": 0,
+        }
+        self._credit_fields = {
+            "squash_memory": "cycles_squash_memory",
+            "squash_branch": "cycles_squash_branch",
+            "drain": "cycles_drain",
+            "mapping": "cycles_mapping",
+            "frontend": "cycles_frontend",
+        }
+
     # ------------------------------------------------------------------
     # Slot allocation helpers
     # ------------------------------------------------------------------
@@ -152,6 +172,7 @@ class OOOPipeline:
             if latency > cfg.l1i_latency:
                 self.stats.icache_misses += 1
                 cycle += latency - cfg.l1i_latency
+                self._credit_stall("frontend", latency - cfg.l1i_latency)
             self._last_fetch_block = block
         self._fetch_counts[cycle] += 1
         self.next_fetch_cycle = cycle
@@ -170,10 +191,43 @@ class OOOPipeline:
         self.stats.selections += 1
         return cycle
 
-    def _alloc_commit(self, complete: int) -> int:
+    def _credit_stall(self, cause: str, cycles: int) -> None:
+        """Accrue pending front-end stall cycles against ``cause``."""
+        if cycles > 0:
+            self._stall_credit[cause] += cycles
+
+    def _charge_commit_gap(self, gap: int, bucket: str | None) -> None:
+        """Attribute ``gap`` cycles of commit-point advance.
+
+        A fat fabric invocation (``bucket="offload"``) owns its whole gap;
+        otherwise pending front-end stall credits are consumed first
+        (severest cause first) and the remainder is healthy host time.
+        """
+        stats = self.stats
+        if bucket == "offload":
+            stats.cycles_offload += gap
+            return
+        credit = self._stall_credit
+        for cause, field_name in self._credit_fields.items():
+            if not gap:
+                break
+            available = credit[cause]
+            if available:
+                take = available if available < gap else gap
+                credit[cause] = available - take
+                setattr(stats, field_name, getattr(stats, field_name) + take)
+                gap -= take
+        stats.cycles_host += gap
+
+    def _alloc_commit(self, complete: int, bucket: str | None = None) -> int:
         cycle = max(complete + 1, self.prev_commit_cycle)
+        gap = cycle - self.prev_commit_cycle
+        if gap:
+            self._charge_commit_gap(gap, bucket)
         while self._commit_counts[cycle] >= self.config.commit_width:
             cycle += 1
+            # Commit-width contention is healthy throughput, not a stall.
+            self.stats.cycles_host += 1
         self._commit_counts[cycle] += 1
         self.prev_commit_cycle = cycle
         if cycle > self.last_commit_cycle:
@@ -214,6 +268,7 @@ class OOOPipeline:
             if prediction and not self.bpred.btb_lookup(dyn.pc):
                 stats.btb_misses += 1
                 self.next_fetch_cycle = fetch + 1 + cfg.btb_miss_penalty
+                self._credit_stall("frontend", cfg.btb_miss_penalty)
             elif prediction:
                 # Correctly predicted taken branch ends the fetch group.
                 self.next_fetch_cycle = fetch + 1
@@ -221,6 +276,7 @@ class OOOPipeline:
             if not self.bpred.btb_lookup(dyn.pc):
                 stats.btb_misses += 1
                 self.next_fetch_cycle = fetch + 1 + cfg.btb_miss_penalty
+                self._credit_stall("frontend", cfg.btb_miss_penalty)
             else:
                 self.next_fetch_cycle = fetch + 1
 
@@ -286,10 +342,10 @@ class OOOPipeline:
                 if cfg.storesets_enabled:
                     self.storesets.train_violation(dyn.pc, alias.pc)
                 complete = alias.data_ready + cfg.store_forward_latency
-                self.fetch_barrier = max(
-                    self.fetch_barrier,
-                    alias.addr_ready + cfg.violation_squash_penalty,
-                )
+                front = max(self.next_fetch_cycle, self.fetch_barrier)
+                barrier = alias.addr_ready + cfg.violation_squash_penalty
+                self._credit_stall("squash_memory", barrier - front)
+                self.fetch_barrier = max(self.fetch_barrier, barrier)
             elif alias is not None:
                 # Store-to-load forwarding from the store queue.
                 stats.store_forwards += 1
@@ -313,9 +369,10 @@ class OOOPipeline:
 
         # ---- misprediction redirect ----------------------------------
         if mispredicted:
-            self.fetch_barrier = max(
-                self.fetch_barrier, complete + cfg.mispredict_redirect
-            )
+            front = max(self.next_fetch_cycle, self.fetch_barrier)
+            barrier = complete + cfg.mispredict_redirect
+            self._credit_stall("squash_branch", barrier - front)
+            self.fetch_barrier = max(self.fetch_barrier, barrier)
             # Wrong-path work is not simulated, but its front-end energy is
             # real: estimate half-rate fetching from the mispredicted fetch
             # until the branch resolves, capped at the ROB window.
@@ -381,6 +438,7 @@ class OOOPipeline:
         stalled_from = max(self.next_fetch_cycle, self.fetch_barrier)
         if empty > stalled_from:
             self.stats.drain_cycles += empty - stalled_from
+            self._credit_stall("drain", empty - stalled_from)
         self.fetch_barrier = max(self.fetch_barrier, empty)
         if self.bus is not None:
             self.bus.emit(
@@ -391,8 +449,16 @@ class OOOPipeline:
             )
         return max(empty, stalled_from)
 
-    def stall_fetch_until(self, cycle: int) -> None:
-        """Hold fetch until ``cycle`` (mapping occupies the issue unit)."""
+    def stall_fetch_until(self, cycle: int, cause: str | None = None) -> None:
+        """Hold fetch until ``cycle`` (mapping occupies the issue unit).
+
+        ``cause`` names the accounting bucket the stall accrues against
+        ("mapping", "squash_branch", "squash_memory"); ``None`` raises the
+        barrier without charging anyone (legacy callers).
+        """
+        if cause is not None:
+            front = max(self.next_fetch_cycle, self.fetch_barrier)
+            self._credit_stall(cause, cycle - front)
         self.fetch_barrier = max(self.fetch_barrier, cycle)
 
     def note_phase(self, phase: str) -> None:
@@ -432,7 +498,7 @@ class OOOPipeline:
 
     def macro_commit(self, complete: int) -> int:
         """Commit a fat macro operation that finished at ``complete``."""
-        commit = self._alloc_commit(complete)
+        commit = self._alloc_commit(complete, bucket="offload")
         self.rob.push(commit)
         return commit
 

@@ -80,6 +80,18 @@ class PipelineStats:
     config_cache_writes: int = 0
     drain_cycles: int = 0
 
+    # Top-down cycle accounting (no energy cost; ``repro analyze``).
+    # Exclusive, conserved buckets charged along the commit timeline:
+    # every advance of the commit point is charged to exactly one bucket,
+    # so their sum equals ``cycles`` on every run (repro.obs.accounting).
+    cycles_host: int = 0            # healthy host execution / commit throughput
+    cycles_frontend: int = 0        # I-cache misses and BTB-miss fetch bubbles
+    cycles_drain: int = 0           # back-end drain before a mapping phase
+    cycles_mapping: int = 0         # mapper occupying the issue unit
+    cycles_offload: int = 0         # commit waiting on fabric invocations
+    cycles_squash_branch: int = 0   # mispredict redirects + branch squashes
+    cycles_squash_memory: int = 0   # memory-order violation squash recovery
+
     # Simulator-internal observability (no energy cost; --profile output).
     predict_memo_hits: int = 0
     predict_memo_misses: int = 0

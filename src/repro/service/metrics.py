@@ -102,6 +102,12 @@ class ServiceMetrics:
         self.started_at = time.time()
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        # Invocation-weighted fabric-occupancy accumulators: ratios from
+        # individual jobs cannot be averaged unweighted, so we keep
+        # sum(ratio * invocations) and divide at snapshot time.
+        self._fabric_invocations = 0
+        self._fabric_placed_weight = 0.0
+        self._fabric_fill_weight = 0.0
         self.latency = LatencyRing(latency_capacity)
         self.latency_histogram = LatencyHistogram()
 
@@ -143,6 +149,23 @@ class ServiceMetrics:
         self.bump("lifecycle.squashes_memory", min(memory, squashes))
         self.bump("lifecycle.squashes_branch",
                   max(0, squashes - memory))
+        # Cycle-accounting bucket totals for the accelerated run — the
+        # counters behind ``repro_cycle_bucket_cycles_total``.
+        accounting = report.get("cycle_accounting") or {}
+        dyna = accounting.get("dynaspam") or {}
+        for name, cycles in (dyna.get("buckets") or {}).items():
+            self.bump(f"bucket.{name}", int(cycles or 0))
+        util = report.get("fabric_utilization") or {}
+        invocations = int(util.get("total_invocations", 0) or 0)
+        if invocations:
+            with self._lock:
+                self._fabric_invocations += invocations
+                self._fabric_placed_weight += (
+                    float(util.get("placed_pe_ratio", 0.0) or 0.0)
+                    * invocations)
+                self._fabric_fill_weight += (
+                    float(util.get("stripe_fill", 0.0) or 0.0)
+                    * invocations)
 
     def retry_after_hint(self, open_jobs: int, workers: int) -> int:
         """Seconds a rejected client should back off before retrying."""
@@ -167,6 +190,9 @@ class ServiceMetrics:
     def snapshot(self, queue=None, scheduler=None) -> dict:
         with self._lock:
             counters = dict(self._counters)
+            fabric_invocations = self._fabric_invocations
+            placed_weight = self._fabric_placed_weight
+            fill_weight = self._fabric_fill_weight
         doc = {
             "uptime_seconds": time.time() - self.started_at,
             "jobs": {
@@ -182,6 +208,20 @@ class ServiceMetrics:
                 name[len("lifecycle."):]: value
                 for name, value in counters.items()
                 if name.startswith("lifecycle.")
+            },
+            "cycle_buckets": {
+                name[len("bucket."):]: value
+                for name, value in counters.items()
+                if name.startswith("bucket.")
+            },
+            "fabric_utilization": {
+                "invocations_observed": fabric_invocations,
+                "placed_pe_ratio": (
+                    placed_weight / fabric_invocations
+                    if fabric_invocations else 0.0),
+                "stripe_fill": (
+                    fill_weight / fabric_invocations
+                    if fabric_invocations else 0.0),
             },
             "cache": self.cache_stats(),
         }

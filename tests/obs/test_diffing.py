@@ -1,0 +1,125 @@
+"""Run-diff attribution: completeness, schema guards, rendering."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import simulation_report
+from repro.obs.diffing import (
+    DiffError,
+    check_compatibility,
+    diff_reports,
+    load_report,
+    render_diff,
+    report_kind,
+)
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def spec_report():
+    return simulation_report("NW", SCALE)
+
+
+@pytest.fixture(scope="module")
+def nospec_report():
+    return simulation_report("NW", SCALE, speculation=False)
+
+
+def test_run_diff_attributes_full_delta(spec_report, nospec_report):
+    diff = diff_reports(spec_report, nospec_report)
+    assert diff["kind"] == "run"
+    assert diff["warnings"] == []
+    dyna = next(e for e in diff["entries"] if e["series"] == "dynaspam")
+    assert dyna["delta_cycles"] == (
+        nospec_report["dynaspam_cycles"] - spec_report["dynaspam_cycles"])
+    # Conservation on both sides makes bucket deltas a complete
+    # attribution (the >= 95% acceptance bar is met exactly, at 100%).
+    assert sum(dyna["bucket_deltas"].values()) == dyna["delta_cycles"]
+    assert dyna["residual"] == 0
+    assert dyna["attributed_fraction"] >= 0.95
+
+
+def test_diff_refuses_schema_mismatch(spec_report, nospec_report):
+    old = dict(nospec_report, schema_version=1)
+    with pytest.raises(DiffError, match="schema versions differ"):
+        diff_reports(spec_report, old)
+    forced = diff_reports(spec_report, old, force=True)
+    assert any("schema versions differ" in w for w in forced["warnings"])
+
+
+def test_diff_refuses_missing_schema(spec_report):
+    bare = {k: v for k, v in spec_report.items() if k != "schema_version"}
+    with pytest.raises(DiffError, match="no schema_version"):
+        diff_reports(bare, bare)
+
+
+def test_diff_warns_on_fingerprint_mismatch(spec_report, nospec_report):
+    other = dict(nospec_report, code_fingerprint="f" * 64)
+    diff = diff_reports(spec_report, other)
+    assert any("fingerprints differ" in w for w in diff["warnings"])
+
+
+def test_diff_refuses_different_benchmarks(spec_report):
+    other = simulation_report("KM", SCALE)
+    with pytest.raises(DiffError, match="different benchmarks"):
+        diff_reports(spec_report, other)
+
+
+def test_diff_refuses_mixed_report_kinds(spec_report):
+    bench = {"schema_version": spec_report["schema_version"],
+             "per_benchmark": {}, "accounting": {}}
+    with pytest.raises(DiffError, match="cannot compare"):
+        check_compatibility(spec_report, bench)
+
+
+def test_bench_diff_and_geomean_warning(spec_report, nospec_report):
+    def bench_doc(run, geomean):
+        return {
+            "schema_version": run["schema_version"],
+            "code_fingerprint": run["code_fingerprint"],
+            "per_benchmark": {"NW": {"spec": run["speedup"]}},
+            "geomean": {"spec": geomean},
+            "accounting": {
+                "NW": {"spec": run["cycle_accounting"]["dynaspam"]},
+            },
+        }
+
+    diff = diff_reports(bench_doc(spec_report, 1.10),
+                        bench_doc(nospec_report, 0.95))
+    assert diff["kind"] == "bench"
+    (entry,) = diff["entries"]
+    assert entry["benchmark"] == "NW"
+    assert entry["residual"] == 0
+    assert entry["attributed_fraction"] >= 0.95
+    assert any("geomean[spec] moved" in w for w in diff["warnings"])
+
+
+def test_bench_diff_requires_accounting_block():
+    doc = {"schema_version": 2, "per_benchmark": {"NW": {}}}
+    with pytest.raises(DiffError, match="no accounting block"):
+        diff_reports(doc, doc)
+
+
+def test_render_diff_is_readable(spec_report, nospec_report):
+    diff = diff_reports(spec_report, nospec_report)
+    text = render_diff(diff, label_a="a.json", label_b="b.json")
+    assert "a.json vs b.json" in text
+    assert "NW [dynaspam]" in text
+    assert "residual +0" in text
+    assert "100.0% of the delta attributed" in text
+
+
+def test_load_report_errors(tmp_path):
+    with pytest.raises(DiffError, match="cannot read"):
+        load_report(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2, 3]")
+    with pytest.raises(DiffError, match="not a JSON report object"):
+        load_report(bad)
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"benchmark": "KM"}))
+    assert report_kind(load_report(good)) == "run"
+    with pytest.raises(DiffError, match="unrecognized report shape"):
+        report_kind({"something": 1})

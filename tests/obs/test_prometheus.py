@@ -102,3 +102,45 @@ def test_observe_report_feeds_lifecycle_counters():
     assert 'repro_lifecycle_events_total{event="squashes_branch"} 6' in text
     # Non-dict results (failed jobs) are ignored, not crashed on.
     metrics.observe_report("boom")
+
+
+def test_observe_report_feeds_buckets_and_fabric_gauges():
+    metrics = ServiceMetrics()
+    metrics.observe_report({
+        "cycle_accounting": {
+            "dynaspam": {"buckets": {"host": 300, "offload": 600,
+                                     "squash_branch": 100}},
+        },
+        "fabric_utilization": {"total_invocations": 40,
+                               "placed_pe_ratio": 0.25,
+                               "stripe_fill": 0.5},
+    })
+    metrics.observe_report({
+        "cycle_accounting": {"dynaspam": {"buckets": {"host": 100}}},
+        "fabric_utilization": {"total_invocations": 10,
+                               "placed_pe_ratio": 0.75,
+                               "stripe_fill": 1.0},
+    })
+    snapshot = metrics.snapshot()
+    assert snapshot["cycle_buckets"] == {
+        "host": 400, "offload": 600, "squash_branch": 100}
+    fabric = snapshot["fabric_utilization"]
+    assert fabric["invocations_observed"] == 50
+    # Invocation-weighted means, not naive averages of ratios.
+    assert fabric["placed_pe_ratio"] == (0.25 * 40 + 0.75 * 10) / 50
+    assert fabric["stripe_fill"] == (0.5 * 40 + 1.0 * 10) / 50
+    text = render_prometheus(snapshot)
+    assert 'repro_cycle_bucket_cycles_total{bucket="offload"} 600' in text
+    assert 'repro_cycle_bucket_cycles_total{bucket="drain"} 0' in text
+    assert 'repro_fabric_utilization{stat="stripe_fill"} 0.6' in text
+    assert "repro_fabric_invocations_observed_total 50" in text
+
+
+def test_report_without_accounting_leaves_gauges_at_zero():
+    metrics = ServiceMetrics()
+    metrics.observe_report({"mapped_traces": 1, "stats": {}})
+    snapshot = metrics.snapshot()
+    assert snapshot["cycle_buckets"] == {}
+    assert snapshot["fabric_utilization"]["placed_pe_ratio"] == 0.0
+    text = render_prometheus(snapshot)
+    assert 'repro_fabric_utilization{stat="placed_pe_ratio"} 0.0' in text

@@ -217,6 +217,97 @@ def test_explain_unknown_trace_id(capsys):
     assert "no trace" in capsys.readouterr().err
 
 
+def test_analyze_command_conserves(capsys):
+    assert main(["analyze", "KM", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle accounting" in out
+    assert out.count("PASS") == 3         # host, mapping, spec columns
+    assert "FAIL" not in out
+    assert "d(spec-host)" in out
+    assert "fabric:" in out
+
+
+def test_analyze_command_mapping_baseline(capsys):
+    assert main(["analyze", "KM", "--scale", "0.05",
+                 "--baseline", "mapping"]) == 0
+    out = capsys.readouterr().out
+    assert "d(spec-mapping)" in out
+
+
+def test_analyze_unknown_benchmark(capsys):
+    assert main(["analyze", "NOPE"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_diff_command_attributes_delta(tmp_path, capsys):
+    assert main(["run", "NW", "--scale", "0.05", "--json"]) == 0
+    spec = capsys.readouterr().out
+    assert main(["run", "NW", "--scale", "0.05", "--no-speculation",
+                 "--json"]) == 0
+    nospec = capsys.readouterr().out
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(spec)
+    b.write_text(nospec)
+
+    assert main(["diff", str(a), str(b)]) == 0
+    pretty = capsys.readouterr().out
+    assert "NW [dynaspam]" in pretty
+    assert "residual +0" in pretty
+
+    assert main(["diff", str(a), str(b), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "run"
+    assert all(e["residual"] == 0 for e in doc["entries"])
+
+
+def test_diff_command_schema_mismatch_is_usage_error(tmp_path, capsys):
+    assert main(["run", "KM", "--scale", "0.05", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps(report))
+    b.write_text(json.dumps(dict(report, schema_version=1)))
+    assert main(["diff", str(a), str(b)]) == 2
+    assert "schema versions differ" in capsys.readouterr().err
+    # --force downgrades the refusal to a warning in the output.
+    assert main(["diff", str(a), str(b), "--force"]) == 0
+    assert "schema versions differ" in capsys.readouterr().out
+
+
+def test_diff_command_missing_file_is_usage_error(tmp_path, capsys):
+    assert main(["diff", str(tmp_path / "nope.json"),
+                 str(tmp_path / "nada.json")]) == 2
+    assert "cannot read report" in capsys.readouterr().err
+
+
+def test_bench_report_has_provenance_accounting_and_dashboard(
+        tmp_path, capsys):
+    import repro.harness.diskcache as diskcache
+
+    out_path = tmp_path / "bench.json"
+    dash_dir = tmp_path / "dash"
+    try:
+        assert main(["bench", "--scale", "0.05", "--no-cache",
+                     "--output", str(out_path),
+                     "--dashboard", str(dash_dir)]) == 0
+    finally:
+        diskcache.configure()
+    report = json.loads(out_path.read_text())
+    assert report["schema_version"] >= 2
+    assert len(report["code_fingerprint"]) == 64
+    assert set(report["accounting"]) == set(report["per_benchmark"])
+    for by_series in report["accounting"].values():
+        assert set(by_series) == {"baseline", "mapping", "no_spec", "spec"}
+        for breakdown in by_series.values():
+            assert breakdown["conserved"] is True
+    assert set(report["fabric_utilization"]) == set(report["per_benchmark"])
+    assert isinstance(report["warnings"], list)
+    html = (dash_dir / "index.html").read_text()
+    assert "Cycle accounting" in html
+    assert "dashboard ->" in capsys.readouterr().out
+
+
 def test_bench_report_records_tracing_disabled(tmp_path, capsys):
     import repro.harness.diskcache as diskcache
 
