@@ -11,6 +11,10 @@ the performance trajectory accumulates run over run.  The CI bench job
 runs this after the regression gate and uploads the ledger with the
 dashboard artifact; locally it works the same way against any report.
 
+``repro perfbench`` reports (``experiment: perfbench``) are recognized
+automatically and produce a throughput-shaped record instead: per-engine
+geomean instructions/sec and the fast-vs-interpreted speedup.
+
 Timestamp and commit come from the CI environment when present
 (``GITHUB_RUN_STARTED_AT`` / ``GITHUB_SHA``), falling back to the
 current UTC time and ``git rev-parse HEAD``.
@@ -59,7 +63,34 @@ def bucket_totals(report: dict) -> dict:
     return totals
 
 
+def perfbench_record(report: dict) -> dict:
+    """History record for a ``repro perfbench`` (throughput) report."""
+    engines = {
+        name: {
+            "geomean_instr_per_sec": summary.get("geomean_instr_per_sec"),
+            "geomean_invocations_per_sec": summary.get(
+                "geomean_invocations_per_sec"),
+            "total_wall_seconds": summary.get("total_wall_seconds"),
+        }
+        for name, summary in (report.get("engines") or {}).items()
+    }
+    return {
+        "timestamp": _timestamp(),
+        "commit": _commit(),
+        "experiment": "perfbench",
+        "perfbench_schema_version": report.get("perfbench_schema_version"),
+        "code_fingerprint": report.get("code_fingerprint"),
+        "scale": report.get("scale"),
+        "repeat": report.get("repeat"),
+        "wall_clock_seconds": report.get("wall_clock_seconds"),
+        "engines": engines,
+        "speedup": report.get("speedup"),
+    }
+
+
 def history_record(report: dict) -> dict:
+    if report.get("experiment") == "perfbench":
+        return perfbench_record(report)
     return {
         "timestamp": _timestamp(),
         "commit": _commit(),
@@ -89,9 +120,14 @@ def main(argv: list[str] | None = None) -> int:
     record = history_record(report)
     with args.history.open("a") as fh:
         fh.write(json.dumps(record, sort_keys=True) + "\n")
+    if record.get("experiment") == "perfbench":
+        fast = (record["engines"].get("fast") or {}).get(
+            "geomean_instr_per_sec") or 0.0
+        summary = f"(fast {fast:,.0f} instr/s)"
+    else:
+        summary = f"(geomean spec {record['geomean'].get('spec', 0):.3f}x)"
     print(f"appended {record['commit'][:12]} @ {record['timestamp']} "
-          f"-> {args.history} "
-          f"(geomean spec {record['geomean'].get('spec', 0):.3f}x)")
+          f"-> {args.history} {summary}")
     return 0
 
 

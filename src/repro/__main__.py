@@ -332,6 +332,50 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_perfbench(args) -> int:
+    """Simulator-throughput measurement -> JSON report + regression gate
+    input (instr/sec and invocations/sec per kernel x mode x engine)."""
+    from repro.harness.perfbench import (
+        ENGINES,
+        MODES,
+        perfbench_report,
+        render_perfbench,
+    )
+
+    kernels = None
+    if args.kernels:
+        from repro.workloads import ALL_ABBREVS
+
+        kernels = [k.strip().upper() for k in args.kernels.split(",") if k.strip()]
+        unknown = [k for k in kernels if k not in ALL_ABBREVS]
+        if unknown:
+            return _fail(f"unknown kernels: {', '.join(unknown)} "
+                         f"(available: {', '.join(ALL_ABBREVS)})")
+    engines = ENGINES if args.engine == "both" else (args.engine,)
+    report = perfbench_report(
+        scale=args.scale,
+        kernels=kernels,
+        modes=MODES,
+        engines=engines,
+        repeat=args.repeat,
+        profile=args.profile,
+    )
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(render_perfbench(report))
+    print(f"report -> {args.output}")
+    if args.profile:
+        print("hot functions (cumulative):")
+        for entry in report["profile"]["top"]:
+            print(f"  {entry['cumtime']:>8.3f}s  {entry['calls']:>9} calls  "
+                  f"{entry['function']}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.service.server import run_server
 
@@ -463,6 +507,25 @@ def main(argv=None) -> int:
              "(DIR/index.html)")
     add_cache_arguments(bench_parser)
 
+    perfbench_parser = sub.add_parser(
+        "perfbench",
+        help="measure simulator throughput (instr/sec) per engine")
+    perfbench_parser.add_argument("--scale", type=float, default=0.1)
+    perfbench_parser.add_argument(
+        "--kernels", default=None, metavar="KM,NW,...",
+        help="comma-separated kernel subset (default: all)")
+    perfbench_parser.add_argument(
+        "--engine", default="both", choices=["both", "fast", "interpreted"])
+    perfbench_parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="repetitions per cell; the fastest is kept")
+    perfbench_parser.add_argument("--output", default="PERFBENCH.json")
+    perfbench_parser.add_argument("--json", action="store_true")
+    perfbench_parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile one fast-engine pass; top-10 cumulative functions "
+             "go into the report")
+
     serve_parser = sub.add_parser(
         "serve", help="start the simulation job server")
     serve_parser.add_argument("--host", default="127.0.0.1")
@@ -506,6 +569,8 @@ def main(argv=None) -> int:
         return cmd_diff(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "perfbench":
+        return cmd_perfbench(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "submit":

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine import fastpath_enabled
+from repro.fabric.compiled import compile_timing_plan
 from repro.fabric.configuration import Configuration
 
 
@@ -87,6 +89,13 @@ class ConfigCache:
             self.unmappable_keys.add(key)
         else:
             self.mapped_keys.add(key)
+            # Pre-lower the fabric evaluator at insert so the first
+            # offload of this configuration already runs the compiled
+            # plan (repro.fabric.compiled); insert is off the hot path.
+            # The placements guard keeps stub configurations (tests,
+            # external callers) insertable without being compilable.
+            if fastpath_enabled() and hasattr(configuration, "placements"):
+                compile_timing_plan(configuration)
         self._store[key] = entry
         if self.bus is not None:
             self.bus.emit(

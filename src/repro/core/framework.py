@@ -33,6 +33,7 @@ from repro.isa.instructions import DynamicInstruction
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
 from repro.ooo.config import CoreConfig
+from repro.ooo.fastpath import make_pipeline
 from repro.ooo.pipeline import OOOPipeline, PipelineResult
 from repro.ooo.stats import PipelineStats
 
@@ -132,7 +133,7 @@ class DynaSpAM:
     ) -> None:
         self.config = ds_config or DynaSpAMConfig()
         cfg = self.config
-        self.pipeline = OOOPipeline(core_config)
+        self.pipeline = make_pipeline(core_config)
         # Event tracing (repro.obs): one bus stamps every lifecycle event
         # with the pipeline's front-end clock.  ``sink=None`` (the default)
         # leaves every component's ``bus`` None — the disabled path is a

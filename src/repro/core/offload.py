@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.siderob import SideROB
+from repro.engine import fastpath_enabled
+from repro.fabric.compiled import offload_plan_of
 from repro.fabric.configuration import Configuration
 from repro.fabric.fabric import InvocationContext, SpatialFabric
 from repro.ooo.lsq import StoreRecord
@@ -54,6 +56,9 @@ class OffloadEngine:
         """Execute ``segment`` (one trace occurrence) on ``fabric``."""
         pipeline = self.pipeline
         stats = pipeline.stats
+        # Per-configuration constants (store positions, placed loads, pool
+        # counts) lowered once and reused across invocations.
+        plan = offload_plan_of(configuration) if fastpath_enabled() else None
 
         seq, dispatch = pipeline.macro_dispatch()
         entry = self.siderob.allocate(seq, configuration.trace_key)
@@ -80,25 +85,40 @@ class OffloadEngine:
 
         # Memory context: addresses of this occurrence, intra-trace
         # Store-Sets predictions, and waits against in-flight host stores.
-        mem_addrs: dict[int, int] = {}
-        mem_dyn: dict[int, object] = {}
-        index = 0
-        for dyn in segment:
-            if dyn.is_memory:
-                mem_addrs[index] = dyn.addr
-                mem_dyn[index] = dyn
-                index += 1
+        # Offload only runs when the occurrence's key matched the
+        # configuration's, so the segment's *static* layout (which
+        # positions are memory ops / branches) is a per-configuration
+        # constant — memoized on the first occurrence.
+        branch_positions = None
+        if plan is not None:
+            mem_positions, branch_positions = self._segment_layout(
+                configuration, segment
+            )
+            mem_addrs = {
+                m: segment[i].addr for m, i in enumerate(mem_positions)
+            }
+        else:
+            mem_addrs: dict[int, int] = {}
+            index = 0
+            for dyn in segment:
+                if dyn.is_memory:
+                    mem_addrs[index] = dyn.addr
+                    index += 1
         predicted_store_pos, extra_wait, host_alias = self._memory_context(
-            configuration, mem_addrs, seq, dispatch
+            configuration, mem_addrs, seq, dispatch, plan
         )
+
+        l2 = pipeline.l2
+        l1d = pipeline.dcache
+        l1d_latency = pipeline.config.l1d_latency
 
         def dcache_access(addr: int) -> int:
             stats.dcache_accesses += 1
-            before_l2 = pipeline.l2.accesses
-            latency = pipeline.dcache.access(addr)
-            if latency > pipeline.config.l1d_latency:
+            before_l2 = l2.hits + l2.misses
+            latency = l1d.access(addr)
+            if latency > l1d_latency:
                 stats.dcache_misses += 1
-            stats.l2_accesses += pipeline.l2.accesses - before_l2
+            stats.l2_accesses += l2.hits + l2.misses - before_l2
             return latency
 
         ctx = InvocationContext(
@@ -173,15 +193,22 @@ class OffloadEngine:
                 )
             )
             dcache_access(event.addr)
-            stats.stores += 1
-        stats.loads += sum(1 for e in result.mem_events if e.kind == "load")
+        stats.stores += len(store_events)
+        stats.loads += len(result.mem_events) - len(store_events)
 
         # ROB' verified the embedded branch outcomes; train the host
         # predictor with them so global history stays coherent.
-        for dyn in segment:
-            if dyn.is_branch:
-                stats.predictor_lookups += 1
-                pipeline.bpred.predict_and_update(dyn.pc, bool(dyn.taken))
+        if branch_positions is not None:
+            predict = pipeline.bpred.predict_and_update
+            for i in branch_positions:
+                dyn = segment[i]
+                predict(dyn.pc, bool(dyn.taken))
+            stats.predictor_lookups += len(branch_positions)
+        else:
+            for dyn in segment:
+                if dyn.is_branch:
+                    stats.predictor_lookups += 1
+                    pipeline.bpred.predict_and_update(dyn.pc, bool(dyn.taken))
 
         stats.offloaded_instructions += len(segment)
         stats.fabric_invocations += 1
@@ -191,9 +218,13 @@ class OffloadEngine:
         stats.fabric_active_pe_cycles += (
             len(configuration.placements) * result.occupancy_cycles
         )
-        for op in configuration.placements:
-            counter = f"fabric_{op.pool}_ops"
-            setattr(stats, counter, getattr(stats, counter) + 1)
+        if plan is not None:
+            for counter, count in plan.pool_counters:
+                setattr(stats, counter, getattr(stats, counter) + count)
+        else:
+            for op in configuration.placements:
+                counter = f"fabric_{op.pool}_ops"
+                setattr(stats, counter, getattr(stats, counter) + 1)
         stats.instructions += len(segment)
 
         if self.bus is not None:
@@ -210,7 +241,24 @@ class OffloadEngine:
         )
 
     # ------------------------------------------------------------------
-    def _memory_context(self, configuration, mem_addrs, seq, dispatch):
+    @staticmethod
+    def _segment_layout(configuration, segment):
+        """(memory positions, branch positions) of this configuration's
+        segments.  Valid for every occurrence: the trace key (start PC +
+        embedded branch outcomes + length) pins the static instruction
+        sequence, and offload only runs on key-matching occurrences."""
+        layout = getattr(configuration, "_segment_layout", None)
+        if layout is None:
+            layout = (
+                tuple(i for i, dyn in enumerate(segment) if dyn.is_memory),
+                tuple(i for i, dyn in enumerate(segment) if dyn.is_branch),
+            )
+            configuration._segment_layout = layout
+        return layout
+
+    # ------------------------------------------------------------------
+    def _memory_context(self, configuration, mem_addrs, seq, dispatch,
+                        plan=None):
         """Build Store-Sets predictions and host-store waits per mem op."""
         storesets = self.pipeline.storesets
         sq = self.pipeline.sq
@@ -218,14 +266,17 @@ class OffloadEngine:
         extra_wait: dict[int, int] = {}
         host_alias: dict[int, StoreRecord] = {}
 
-        store_positions: list[tuple[int, int, int]] = []  # (mem_index, pos, pc)
-        for op in configuration.placements:
-            if op.is_store:
-                store_positions.append((op.mem_index, op.pos, op.pc))
+        if plan is not None:
+            store_positions = plan.store_positions  # (mem_index, pos, pc)
+            loads = plan.loads
+        else:
+            store_positions = []
+            for op in configuration.placements:
+                if op.is_store:
+                    store_positions.append((op.mem_index, op.pos, op.pc))
+            loads = [op for op in configuration.placements if op.is_load]
 
-        for op in configuration.placements:
-            if not op.is_load:
-                continue
+        for op in loads:
             m = op.mem_index
             if not self.speculation:
                 # Conservative inter-invocation ordering goes through the
@@ -258,12 +309,10 @@ class OffloadEngine:
             # the memory system sees store-store program order.
             older = sq.youngest_older(seq)
             if older is not None:
-                for op in configuration.placements:
-                    if op.is_store:
-                        m = op.mem_index
-                        extra_wait[m] = max(
-                            extra_wait.get(m, 0), older.addr_ready
-                        )
+                for (m, _pos, _pc) in store_positions:
+                    extra_wait[m] = max(
+                        extra_wait.get(m, 0), older.addr_ready
+                    )
         return predicted_store_pos, extra_wait, host_alias
 
     # ------------------------------------------------------------------
@@ -274,13 +323,16 @@ class OffloadEngine:
         violations occur when a fabric load started before an aliasing
         in-flight host store had executed.
         """
-        events_by_pos = {e.pos: e for e in result.mem_events}
-        for load_pos, store_pos in result.violations:
-            load_op = configuration.op_at(load_pos)
-            store_op = configuration.op_at(store_pos)
-            # Detected when the store's address finally resolves.
-            detect = events_by_pos[store_pos].addr_known
-            return load_op.pc, store_op.pc, detect
+        if result.violations:
+            # Built only on the (rare) violation path — the common commit
+            # path never needs the position index.
+            events_by_pos = {e.pos: e for e in result.mem_events}
+            for load_pos, store_pos in result.violations:
+                load_op = configuration.op_at(load_pos)
+                store_op = configuration.op_at(store_pos)
+                # Detected when the store's address finally resolves.
+                detect = events_by_pos[store_pos].addr_known
+                return load_op.pc, store_op.pc, detect
         for event in result.mem_events:
             if event.kind != "load":
                 continue

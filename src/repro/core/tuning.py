@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from repro.core.framework import DynaSpAM, DynaSpAMConfig
 from repro.energy.area import FabricAreaModel
 from repro.fabric.config import FabricConfig
+from repro.ooo.fastpath import make_pipeline
 from repro.ooo.fus import POOL_NAMES
-from repro.ooo.pipeline import OOOPipeline
 from repro.workloads.characterize import pool_demand, WorkloadProfile
 
 
@@ -115,7 +115,7 @@ def evaluate_mix(
     Table 4 configuration) and let the mapper see the tuned stripes, which
     isolates the fabric-side effect.
     """
-    baseline = OOOPipeline().run_trace(trace_result.trace)
+    baseline = make_pipeline().run_trace(trace_result.trace)
     machine = DynaSpAM(
         fabric_config=fabric_config,
         ds_config=ds_config or DynaSpAMConfig(),

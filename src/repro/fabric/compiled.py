@@ -1,0 +1,256 @@
+"""Pre-lowered (compiled) evaluators for fabric configurations.
+
+A ``Configuration`` is immutable once the mapper produces it, yet the
+interpreted evaluators re-derive the same facts on every invocation:
+``SpatialFabric.execute`` recomputes the structural initiation interval,
+re-walks each op's operand sources (re-reading roles, re-counting hops),
+and re-extracts live-outs; ``FunctionalFabric.execute`` re-classifies
+every opcode through a chain of dict-membership tests.  Steady state runs
+millions of invocations over a handful of configurations — the same
+insight DynaSpAM itself applies to instruction schedules applies here:
+lower the reused structure once, then execute the lowered form.
+
+Two plans, both cached on the configuration object and keyed by identity:
+
+* :class:`TimingPlan` — for the cycle engine: topological op steps with
+  pre-split producer/live-in gather lists, per-op latency and mem kind,
+  the structural II, constant datapath-transfer and FIFO-op totals, and
+  the live-out extraction list.
+* :class:`FunctionalPlan` — for the value engine: per-op gather indices
+  and a resolved evaluator kind (immediate / load / store / branch /
+  unary / binop) with its operator function.
+
+``ConfigCache.insert`` pre-compiles the timing plan so offloading starts
+hot; both evaluators also compile lazily on first use.  Plan use is gated
+on :func:`repro.engine.fastpath_enabled` — with the fast path off, the
+interpreted loops in ``repro.fabric.fabric`` / ``repro.fabric.functional``
+remain the reference semantics, and the identity sweep holds the two
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.configuration import Configuration, PlacedOp
+from repro.isa.opcodes import FU_PIPELINED, OpClass, latency_of
+
+# Timing-step kinds.
+T_ALU = 0
+T_LOAD = 1
+T_STORE = 2
+
+# Functional evaluator kinds.
+F_IMM = 0
+F_LOAD = 1
+F_STORE = 2
+F_BRANCH = 3
+F_UNARY = 4
+F_BINOP = 5
+
+
+@dataclass(frozen=True)
+class TimingPlan:
+    """Everything ``SpatialFabric.execute`` needs that never changes."""
+
+    structural_ii: int
+    #: Per placed op, in topological (position) order:
+    #: ``(pos, kind, latency, mem_index, op, inst_srcs, live_srcs)`` with
+    #: ``inst_srcs = ((producer_pos, arrival_add, is_base), ...)`` and
+    #: ``live_srcs = ((reg, is_base), ...)``.
+    steps: tuple
+    datapath_transfers: int   # sum of hops over all producer routes
+    fifo_ops: int             # live-in gathers + live-out drains
+    liveouts: tuple           # ((reg, producer_pos), ...)
+
+
+@dataclass(frozen=True)
+class FunctionalPlan:
+    """Everything ``FunctionalFabric.execute`` needs that never changes."""
+
+    #: Per placed op: ``(pos, gather, kind, fn, aux)`` with
+    #: ``gather = ((is_livein, reg_or_producer_pos), ...)``; ``aux`` is
+    #: the load's is-float flag, the store's (base_idx, value_idx), or
+    #: the branch's operand count.
+    steps: tuple
+    liveouts: tuple           # ((reg, producer_pos), ...)
+
+
+def _pe_busy(op: PlacedOp) -> int:
+    if op.opclass in (OpClass.LOAD, OpClass.STORE):
+        return 1
+    return 1 if FU_PIPELINED[op.opclass] else latency_of(op.opcode)
+
+
+def compile_timing_plan(configuration: Configuration) -> TimingPlan:
+    """Lower a configuration for the cycle engine and cache it."""
+    structural_ii = max(
+        (_pe_busy(op) for op in configuration.placements), default=1
+    )
+    steps = []
+    datapath_transfers = 0
+    gather_fifo_ops = 0
+    for op in configuration.placements:
+        inst_srcs = []
+        live_srcs = []
+        roles = op.source_roles or ("src",) * len(op.sources)
+        for src, role in zip(op.sources, roles):
+            is_base = role == "base"
+            if src.kind == "inst":
+                add = src.hops - 1 if src.hops > 1 else 0
+                inst_srcs.append((src.producer_pos, add, is_base))
+                datapath_transfers += src.hops
+            else:
+                live_srcs.append((src.reg, is_base))
+                gather_fifo_ops += 1
+        if op.is_load:
+            kind = T_LOAD
+        elif op.is_store:
+            kind = T_STORE
+        else:
+            kind = T_ALU
+        steps.append((op.pos, kind, latency_of(op.opcode), op.mem_index,
+                      op, tuple(inst_srcs), tuple(live_srcs)))
+    liveouts = tuple(configuration.live_outs.items())
+    plan = TimingPlan(
+        structural_ii=structural_ii,
+        steps=tuple(steps),
+        datapath_transfers=datapath_transfers,
+        fifo_ops=gather_fifo_ops + len(liveouts),
+        liveouts=liveouts,
+    )
+    configuration._timing_plan = plan
+    return plan
+
+
+def timing_plan_of(configuration: Configuration) -> TimingPlan:
+    """Return the configuration's timing plan, compiling on first use."""
+    plan = getattr(configuration, "_timing_plan", None)
+    if plan is None:
+        plan = compile_timing_plan(configuration)
+    return plan
+
+
+def compile_functional_plan(
+    configuration: Configuration,
+) -> FunctionalPlan | None:
+    """Lower a configuration for the value engine and cache it.
+
+    Returns ``None`` (cached as ``False``) when any opcode falls outside
+    the compiled evaluator's repertoire — the interpreted path then owns
+    the invocation, including its error behavior.
+    """
+    # Imported here: functional.py imports the ISA executor stack, which
+    # the pure timing path never needs.
+    from repro.fabric.functional import _BRANCH, _COMMUTATIVE_BINOPS, _UNARY
+    from repro.isa.opcodes import Opcode
+
+    steps = []
+    for op in configuration.placements:
+        gather = []
+        for src in op.sources:
+            if src.kind == "livein":
+                gather.append((True, src.reg))
+            else:
+                gather.append((False, src.producer_pos))
+        opcode = op.opcode
+        fn = None
+        aux = None
+        if opcode in (Opcode.LI, Opcode.FLI):
+            kind = F_IMM
+        elif opcode in (Opcode.LW, Opcode.FLW):
+            kind = F_LOAD
+            aux = opcode is Opcode.FLW
+        elif opcode in (Opcode.SW, Opcode.FSW):
+            kind = F_STORE
+            roles = op.source_roles or ("base", "value")[: len(op.sources)]
+            base_idx = None
+            value_idx = None
+            # Truncate to the operand count, matching the interpreter's
+            # zip(operands, roles); last matching role wins, as there.
+            for index, role in enumerate(roles[: len(op.sources)]):
+                if role == "base":
+                    base_idx = index
+                elif role == "value":
+                    value_idx = index
+            aux = (base_idx, value_idx)
+        elif opcode in _BRANCH:
+            kind = F_BRANCH
+            fn = _BRANCH[opcode]
+            aux = len(op.sources)
+        elif opcode in _UNARY:
+            kind = F_UNARY
+            fn = _UNARY[opcode]
+        elif opcode in _COMMUTATIVE_BINOPS:
+            kind = F_BINOP
+            fn = _COMMUTATIVE_BINOPS[opcode]
+            aux = opcode.value  # for the missing-operand error message
+        else:
+            configuration._functional_plan = False
+            return None
+        steps.append((op.pos, tuple(gather), kind, fn, aux))
+    plan = FunctionalPlan(
+        steps=tuple(steps),
+        liveouts=tuple(configuration.live_outs.items()),
+    )
+    configuration._functional_plan = plan
+    return plan
+
+
+def functional_plan_of(configuration: Configuration) -> FunctionalPlan | None:
+    """The configuration's functional plan, or None if uncompilable."""
+    plan = getattr(configuration, "_functional_plan", None)
+    if plan is None:
+        return compile_functional_plan(configuration)
+    if plan is False:
+        return None
+    return plan
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """Per-configuration constants for ``repro.core.offload``."""
+
+    #: ``(mem_index, pos, pc)`` of every placed store, in position order.
+    store_positions: tuple
+    #: Placed load ops, in position order.
+    loads: tuple
+    #: ``mem_index`` of every placed store.
+    store_mem_indices: tuple
+    #: ``(PipelineStats attr name, count)`` per pool with placed ops —
+    #: replaces the per-op f-string/getattr/setattr loop at commit.
+    pool_counters: tuple
+
+
+def compile_offload_plan(configuration: Configuration) -> OffloadPlan:
+    """Lower the offload engine's per-configuration loops and cache it."""
+    store_positions = []
+    loads = []
+    store_mem_indices = []
+    pool_counts: dict[str, int] = {}
+    for op in configuration.placements:
+        if op.is_store:
+            store_positions.append((op.mem_index, op.pos, op.pc))
+            store_mem_indices.append(op.mem_index)
+        elif op.is_load:
+            loads.append(op)
+        pool_counts[op.pool] = pool_counts.get(op.pool, 0) + 1
+    plan = OffloadPlan(
+        store_positions=tuple(store_positions),
+        loads=tuple(loads),
+        store_mem_indices=tuple(store_mem_indices),
+        pool_counters=tuple(
+            (f"fabric_{pool}_ops", count)
+            for pool, count in pool_counts.items()
+        ),
+    )
+    configuration._offload_plan = plan
+    return plan
+
+
+def offload_plan_of(configuration: Configuration) -> OffloadPlan:
+    """The configuration's offload plan, compiling on first use."""
+    plan = getattr(configuration, "_offload_plan", None)
+    if plan is None:
+        plan = compile_offload_plan(configuration)
+    return plan

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine import fastpath_enabled
+from repro.fabric.compiled import T_ALU, T_STORE, timing_plan_of
 from repro.fabric.config import FabricConfig
 from repro.fabric.configuration import Configuration, PlacedOp
 from repro.fabric.fifos import FifoModel
@@ -171,6 +173,8 @@ class SpatialFabric:
         """Run one invocation of the currently loaded configuration."""
         if self.current_key != configuration.trace_key:
             raise ValueError("fabric is not configured for this trace")
+        if fastpath_enabled():
+            return self._execute_plan(configuration, timing_plan_of(configuration), ctx)
         cfg = self.config
         bus = cfg.global_bus_latency
 
@@ -269,6 +273,122 @@ class SpatialFabric:
             fu_ops=len(configuration.placements),
             datapath_transfers=datapath_transfers,
             fifo_ops=fifo_ops,
+            occupancy_cycles=max(1, occupancy),
+        )
+
+    def _execute_plan(
+        self,
+        configuration: Configuration,
+        plan,
+        ctx: InvocationContext,
+    ) -> InvocationResult:
+        """Plan-driven twin of :meth:`execute` (see repro.fabric.compiled).
+
+        Bit-identical by construction: the per-op arrival computation is an
+        order-independent max over the same source set, the FIFO/datapath
+        totals are per-configuration constants, and the memory-op timing
+        delegates to the same ``_time_store``/``_time_load``.  The identity
+        sweep in ``tests/engine`` holds the two paths equal.
+        """
+        bus = self.config.global_bus_latency
+        structural_ii = plan.structural_ii
+
+        start = ctx.start_lower_bound
+        admit = self.fifo.admit_ready_cycle()
+        if admit > start:
+            start = admit
+        if self.invocations_on_current:
+            pipelined = self.last_invocation_start + structural_ii
+            if pipelined > start:
+                start = pipelined
+            occupancy = start - self.last_invocation_start
+        else:
+            occupancy = None
+
+        finish: dict[int, int] = {}
+        mem_events: list[MemEvent] = []
+        violations: list[tuple[int, int]] = []
+        older_stores: list[MemEvent] = []
+        live_in_ready = ctx.live_in_ready
+        mem_addrs = ctx.mem_addrs
+        extra_mem_wait = ctx.extra_mem_wait
+        speculative = ctx.speculative
+        time_store = self._time_store
+        time_load = self._time_load
+
+        for pos, kind, latency, mem_index, op, inst_srcs, live_srcs in plan.steps:
+            ready = start
+            base_arrival = start
+            for producer_pos, add, is_base in inst_srcs:
+                arrival = finish[producer_pos] + add
+                if arrival > ready:
+                    ready = arrival
+                if is_base and arrival > base_arrival:
+                    base_arrival = arrival
+            for reg, is_base in live_srcs:
+                arrival = live_in_ready.get(reg, start) + bus
+                if arrival > ready:
+                    ready = arrival
+                if is_base and arrival > base_arrival:
+                    base_arrival = arrival
+
+            if kind == T_ALU:
+                finish[pos] = ready + latency
+            else:
+                event = MemEvent(
+                    pos=pos,
+                    mem_index=mem_index,
+                    addr=mem_addrs[mem_index],
+                    kind="store" if kind == T_STORE else "load",
+                )
+                extra = extra_mem_wait.get(mem_index, start)
+                if kind == T_STORE:
+                    time_store(event, base_arrival, ready, extra,
+                               older_stores, speculative)
+                    older_stores.append(event)
+                else:
+                    violation = time_load(
+                        op, event, ready, extra, older_stores, ctx
+                    )
+                    if violation is not None:
+                        violations.append((pos, violation))
+                mem_events.append(event)
+                finish[pos] = event.finish
+
+        liveout_ready = {}
+        for reg, pos in plan.liveouts:
+            liveout_ready[reg] = finish[pos] + bus
+
+        complete = start
+        if finish:
+            complete = max(finish.values())
+        complete += bus
+
+        self.fifo.push(complete)
+        self.last_invocation_start = start
+        self.last_liveout_times = dict(liveout_ready)
+        self.invocations_on_current += 1
+        self.total_invocations += 1
+        for stripe, placed in enumerate(self._current_stripe_placed):
+            if placed:
+                self.stripe_placed_invocations[stripe] += placed
+                self.stripe_invocations[stripe] += 1
+                self.filled_stripe_invocations += 1
+        self.placed_pe_invocations += len(plan.steps)
+
+        if occupancy is None:
+            occupancy = complete - start
+        return InvocationResult(
+            start=start,
+            complete=complete,
+            finish_times=finish,
+            liveout_ready=liveout_ready,
+            mem_events=mem_events,
+            violations=violations,
+            structural_ii=structural_ii,
+            fu_ops=len(plan.steps),
+            datapath_transfers=plan.datapath_transfers,
+            fifo_ops=plan.fifo_ops,
             occupancy_cycles=max(1, occupancy),
         )
 

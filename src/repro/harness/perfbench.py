@@ -1,0 +1,212 @@
+"""Simulator-throughput benchmark (``repro perfbench``).
+
+``repro bench`` answers "is the *model* still right and how long does the
+sweep take end to end"; this module answers a different question: **how
+fast does the simulator itself execute**, in dynamic instructions per
+second and fabric invocations per second, per kernel and mode, for each
+engine (the compiled fast path of ``repro.ooo.fastpath`` /
+``repro.fabric.compiled`` vs the interpreted reference model).
+
+Methodology:
+
+* Traces are generated *before* the timer starts — trace synthesis is
+  workload generation, not simulation, and must not pollute throughput.
+* Every measurement constructs the machine fresh and runs it directly,
+  bypassing the run caches entirely (a cache hit would measure nothing).
+* Timing is serial, one cell at a time, on ``time.perf_counter``; with
+  ``repeat > 1`` the best (minimum-time) repetition is kept, which
+  filters scheduler noise without averaging it in.
+* The report carries the same provenance block as every other report
+  (schema version + code fingerprint) so the regression gate
+  (``scripts/check_perf_regression.py``) can refuse stale baselines.
+
+The resulting JSON feeds the CI ``perfbench`` job: the gate fails the
+build when the fast engine's geomean instructions/sec regresses more than
+the threshold against the committed baseline, or when the fast-vs-
+interpreted speedup falls below the floor recorded at PR time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.engine import use_fastpath
+
+#: Version of the perfbench JSON layout (independent of the simulation
+#: report schema — throughput reports are not `repro diff` inputs).
+PERFBENCH_SCHEMA_VERSION = 1
+
+#: The Figure 8 suite's execution modes.
+MODES = ("baseline", "mapping_only", "accelerate")
+
+ENGINES = ("fast", "interpreted")
+
+
+def _geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _measure_cell(trace, mode: str, engine: str, repeat: int) -> dict:
+    """Time one (kernel, mode, engine) cell; returns the cell record."""
+    from repro.core import DynaSpAM, DynaSpAMConfig
+    from repro.ooo.fastpath import make_pipeline
+
+    fast = engine == "fast"
+    best = None
+    for _ in range(max(1, repeat)):
+        with use_fastpath(fast):
+            if mode == "baseline":
+                pipeline = make_pipeline()
+                started = time.perf_counter()
+                result = pipeline.run_trace(trace.trace)
+                elapsed = time.perf_counter() - started
+            else:
+                machine = DynaSpAM(ds_config=DynaSpAMConfig(mode=mode))
+                started = time.perf_counter()
+                result = machine.run(trace.trace, trace.program)
+                elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, result)
+    elapsed, result = best
+    stats = result.stats
+    instructions = stats.instructions
+    invocations = getattr(stats, "fabric_invocations", 0)
+    elapsed = max(elapsed, 1e-9)
+    return {
+        "mode": mode,
+        "engine": engine,
+        "instructions": instructions,
+        "simulated_cycles": result.cycles,
+        "wall_seconds": elapsed,
+        "instr_per_sec": instructions / elapsed,
+        "invocations": invocations,
+        "invocations_per_sec": invocations / elapsed,
+    }
+
+
+def perfbench_report(
+    scale: float = 0.1,
+    kernels=None,
+    modes=MODES,
+    engines=ENGINES,
+    repeat: int = 1,
+    profile: bool = False,
+) -> dict:
+    """Measure simulator throughput over kernels x modes x engines."""
+    from repro.harness.runner import report_provenance
+    from repro.workloads import ALL_ABBREVS, generate_trace
+
+    kernels = list(kernels or ALL_ABBREVS)
+    started = time.perf_counter()
+
+    # Warm the trace cache up front: after this loop generate_trace is a
+    # dictionary lookup and never shows up inside a timed region.
+    traces = {abbrev: generate_trace(abbrev, scale) for abbrev in kernels}
+
+    per_engine: dict[str, dict] = {}
+    for engine in engines:
+        cells = []
+        for abbrev in kernels:
+            for mode in modes:
+                cell = _measure_cell(traces[abbrev], mode, engine, repeat)
+                cell["kernel"] = abbrev
+                cells.append(cell)
+        per_engine[engine] = {
+            "cells": cells,
+            "geomean_instr_per_sec": _geomean(
+                c["instr_per_sec"] for c in cells
+            ),
+            "geomean_invocations_per_sec": _geomean(
+                c["invocations_per_sec"] for c in cells
+            ),
+            "total_instructions": sum(c["instructions"] for c in cells),
+            "total_wall_seconds": sum(c["wall_seconds"] for c in cells),
+        }
+
+    report = {
+        **report_provenance(),
+        "experiment": "perfbench",
+        "perfbench_schema_version": PERFBENCH_SCHEMA_VERSION,
+        "scale": scale,
+        "repeat": repeat,
+        "kernels": kernels,
+        "modes": list(modes),
+        "engines": per_engine,
+        "wall_clock_seconds": time.perf_counter() - started,
+    }
+    if "fast" in per_engine and "interpreted" in per_engine:
+        slow = per_engine["interpreted"]["geomean_instr_per_sec"]
+        fast = per_engine["fast"]["geomean_instr_per_sec"]
+        report["speedup"] = fast / slow if slow else 0.0
+    if profile:
+        report["profile"] = _profile_fast_engine(traces, modes)
+    return report
+
+
+def _profile_fast_engine(traces, modes) -> dict:
+    """cProfile one fast-engine pass; top functions by cumulative time.
+
+    Complements the harness ``PROFILER`` (whose sections cover the cache
+    and experiment layers) with function-level attribution of the
+    simulation hot loop itself; the harness profiler's snapshot rides
+    along so both views land in one report.
+    """
+    import cProfile
+    import pstats
+
+    from repro.harness.profiling import PROFILER
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    with PROFILER.section("perfbench_profile_pass"):
+        for trace in traces.values():
+            for mode in modes:
+                _measure_cell(trace, mode, "fast", repeat=1)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    top = []
+    for func, (cc, nc, tottime, cumtime, _callers) in sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    ):
+        filename, line, name = func
+        if "cProfile" in filename or filename.startswith("<"):
+            continue
+        top.append({
+            "function": f"{filename}:{line}({name})",
+            "calls": nc,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+        if len(top) >= 10:
+            break
+    return {
+        "sort": "cumulative",
+        "top": top,
+        "harness": PROFILER.snapshot(),
+    }
+
+
+def render_perfbench(report: dict) -> str:
+    """One-screen human summary of a perfbench report."""
+    lines = []
+    engines = report["engines"]
+    for engine in ("fast", "interpreted"):
+        if engine not in engines:
+            continue
+        summary = engines[engine]
+        lines.append(
+            f"{engine:>12}: {summary['geomean_instr_per_sec']:>12,.0f} "
+            f"instr/s geomean | "
+            f"{summary['geomean_invocations_per_sec']:>10,.1f} invoc/s | "
+            f"{summary['total_wall_seconds']:.2f}s over "
+            f"{len(summary['cells'])} cells"
+        )
+    if "speedup" in report:
+        lines.append(f"{'speedup':>12}: {report['speedup']:.2f}x "
+                     f"(fast vs interpreted, geomean instr/s)")
+    return "\n".join(lines)

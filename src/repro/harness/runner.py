@@ -26,6 +26,7 @@ from repro.core import DynaSpAM, DynaSpAMConfig, DynaSpAMResult
 from repro.fabric.config import FabricConfig
 from repro.harness.profiling import PROFILER
 from repro.ooo.config import CoreConfig
+from repro.ooo.fastpath import make_pipeline
 from repro.ooo.pipeline import OOOPipeline, PipelineResult
 from repro.workloads import generate_trace
 
@@ -165,7 +166,7 @@ def _simulate(spec: RunSpec, sink=None):
         trace = generate_trace(spec.abbrev, spec.scale)
     if spec.kind == "baseline":
         with PROFILER.section("simulate_baseline"):
-            return OOOPipeline(spec.core_config).run_trace(trace.trace)
+            return make_pipeline(spec.core_config).run_trace(trace.trace)
     machine = DynaSpAM(
         core_config=spec.core_config,
         fabric_config=spec.fabric_config,

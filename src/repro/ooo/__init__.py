@@ -10,6 +10,7 @@ from repro.ooo.config import CoreConfig
 from repro.ooo.branch_predictor import BranchPredictor
 from repro.ooo.storesets import StoreSetPredictor
 from repro.ooo.caches import Cache, CacheHierarchy
+from repro.ooo.fastpath import FastOOOPipeline, make_pipeline
 from repro.ooo.pipeline import OOOPipeline, PipelineResult
 from repro.ooo.stats import PipelineStats
 
@@ -18,8 +19,10 @@ __all__ = [
     "Cache",
     "CacheHierarchy",
     "CoreConfig",
+    "FastOOOPipeline",
     "OOOPipeline",
     "PipelineResult",
     "PipelineStats",
     "StoreSetPredictor",
+    "make_pipeline",
 ]

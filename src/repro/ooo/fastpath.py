@@ -1,0 +1,625 @@
+"""Compiled hot path for the OOO timing model.
+
+``FastOOOPipeline`` is a drop-in replacement for ``OOOPipeline`` that
+produces *bit-identical* timing, statistics, and event sequences while
+running several times faster.  It is the same model, re-expressed for
+the interpreter:
+
+* a per-``Instruction`` **decode cache**: opclass-derived facts (path
+  kind, latency, functional-unit pool dict/size/occupancy span, the
+  stats-counter slot, the fetch block) are resolved once per static
+  instruction instead of per dynamic instance — eliminating the
+  ``_EXEC_COUNTER`` dict lookup, ``getattr``/``setattr`` pair, enum
+  hashing, and ``latency_of`` call on every instruction;
+* ``process()`` is one flat, specialized function: branch/jump/load/
+  store/ALU paths branch on a precomputed small-int kind, slot
+  allocation and the ring-buffer capacity models are inlined, and
+  monotone cursors live in locals for the duration of the call;
+* **batched statistics**: hot counters accumulate in a plain int list
+  indexed by module constants and flush additively into
+  ``PipelineStats`` in ``finish()`` (cold counters — fabric, mapping,
+  drain, offload buckets — are still written directly by the framework,
+  which is why the flush adds rather than assigns);
+* stall credits keep a running total so the common commit-gap case
+  (no credits pending) skips the per-cause scan.
+
+Invariants the fast path relies on (and the base model now guarantees):
+the slot-count and FU-occupancy dicts are pruned *in place* (cached
+references stay valid), the store window is a bounded deque, and the
+``macro_*`` primitives used by the DynaSpAM framework mutate the same
+shared structures, so host and offload execution interleave freely.
+
+Bit-identity against the interpreted model is enforced by
+``tests/engine/test_fastpath_identity.py`` and CI's fastpath-identity
+job; ``repro perfbench`` measures the speedup.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import DynamicInstruction, Instruction
+from repro.isa.opcodes import FU_PIPELINED, OpClass
+from repro.ooo.config import CoreConfig
+from repro.ooo.fus import POOL_OF
+from repro.ooo.lsq import StoreRecord
+from repro.ooo.pipeline import InstrTiming, OOOPipeline, PipelineResult
+
+#: PipelineStats fields mirrored by the batched-counter list, in slot
+#: order.  Only counters touched by the per-instruction hot path belong
+#: here; everything else keeps writing ``stats`` directly.
+_SB_FIELDS: tuple[str, ...] = (
+    "fetches", "wrongpath_fetches", "icache_accesses", "icache_misses",
+    "predictor_lookups", "branch_mispredicts", "btb_misses",
+    "renames", "dispatches", "wakeups", "selections",
+    "int_alu_ops", "int_mul_ops", "int_div_ops",
+    "fp_alu_ops", "fp_mul_ops", "fp_div_ops",
+    "regfile_reads", "regfile_writes", "bypass_transfers",
+    "loads", "stores", "dcache_accesses", "dcache_misses", "l2_accesses",
+    "store_forwards", "memory_violations",
+    "commits", "rob_writes", "instructions", "cycles_host",
+)
+
+(F_FETCHES, F_WRONGPATH, F_IC_ACC, F_IC_MISS,
+ F_PRED, F_MISP, F_BTB,
+ F_RENAMES, F_DISPATCHES, F_WAKEUPS, F_SELECTIONS,
+ F_INT_ALU, F_INT_MUL, F_INT_DIV,
+ F_FP_ALU, F_FP_MUL, F_FP_DIV,
+ F_RF_READS, F_RF_WRITES, F_BYPASS,
+ F_LOADS, F_STORES, F_DC_ACC, F_DC_MISS, F_L2_ACC,
+ F_FORWARDS, F_VIOLATIONS,
+ F_COMMITS, F_ROB_WRITES, F_INSTRUCTIONS, F_CYCLES_HOST,
+ ) = range(len(_SB_FIELDS))
+
+#: Stats slot charged for one execution of each opclass — the decode-time
+#: resolution of ``pipeline._EXEC_COUNTER`` (branches, jumps, nops, and
+#: memory address generation all execute on the integer ALUs).
+_EXEC_SLOT: dict[OpClass, int] = {
+    OpClass.INT_ALU: F_INT_ALU,
+    OpClass.INT_MUL: F_INT_MUL,
+    OpClass.INT_DIV: F_INT_DIV,
+    OpClass.FP_ALU: F_FP_ALU,
+    OpClass.FP_MUL: F_FP_MUL,
+    OpClass.FP_DIV: F_FP_DIV,
+    OpClass.BRANCH: F_INT_ALU,
+    OpClass.JUMP: F_INT_ALU,
+    OpClass.NOP: F_INT_ALU,
+    OpClass.LOAD: F_INT_ALU,
+    OpClass.STORE: F_INT_ALU,
+}
+
+#: Slots incremented exactly once per instruction, no matter its kind.
+#: ``process`` counts instructions in one scalar and ``finish`` fans the
+#: total out to these slots, saving six list increments per instruction.
+_UNIFORM_SLOTS: tuple[int, ...] = (
+    F_FETCHES, F_RENAMES, F_DISPATCHES, F_SELECTIONS,
+    F_COMMITS, F_ROB_WRITES, F_INSTRUCTIONS,
+)
+
+# Specialized-path discriminator, resolved at decode time.
+_KIND_ALU = 0
+_KIND_BRANCH = 1
+_KIND_JUMP = 2
+_KIND_LOAD = 3
+_KIND_STORE = 4
+
+
+class FastOOOPipeline(OOOPipeline):
+    """Decode-cached, inlined implementation of the timing model.
+
+    Every structural model (ROB/RS/LQ/SQ rings, scoreboard dicts, FU
+    occupancy dicts, slot windows) is the *same object* the base class
+    owns; only the per-instruction control flow is re-expressed.  The
+    framework's ``macro_dispatch``/``macro_commit``/``drain`` therefore
+    work unchanged against a fast pipeline.
+    """
+
+    def __init__(
+        self,
+        config: CoreConfig | None = None,
+        conservative_memory: bool = False,
+        bus=None,
+    ) -> None:
+        super().__init__(config, conservative_memory, bus=bus)
+        cfg = self.config
+        self._fetch_width = cfg.fetch_width
+        self._issue_width = cfg.issue_width
+        self._commit_width = cfg.commit_width
+        self._frontend_depth = cfg.frontend_depth
+        self._block_bytes = cfg.block_bytes
+        self._l1i_latency = cfg.l1i_latency
+        self._l1d_latency = cfg.l1d_latency
+        self._btb_miss_penalty = cfg.btb_miss_penalty
+        self._mispredict_redirect = cfg.mispredict_redirect
+        self._store_forward_latency = cfg.store_forward_latency
+        self._violation_squash_penalty = cfg.violation_squash_penalty
+        self._rob_entries = cfg.rob_entries
+        self._storesets_enabled = cfg.storesets_enabled
+        self._store_fifo_cap = cfg.store_queue * 2
+        # Bound methods and interior structures of the shared models.
+        # All of these are identity-stable for the life of the pipeline
+        # (the base model prunes its dicts in place, never rebuilds).
+        self._icache_access = self.icache.access
+        self._dcache_access = self.dcache.access
+        self._bpred_update = self.bpred.predict_and_update
+        self._btb_lookup = self.bpred.btb_lookup
+        self._ss_load_dispatched = self.storesets.load_dispatched
+        self._ss_store_dispatched = self.storesets.store_dispatched
+        self._ss_train = self.storesets.train_violation
+        self._regs_ready = self.regs._ready
+        self._regs_producer = self.regs._producer
+        self._sq_window = self.sq._window
+        self._sq_by_addr = self.sq._by_addr
+        #: id(static) -> decode record.  The record pins the static
+        #: instruction (slot 0) so a recycled id can never alias a dead
+        #: object's cache entry.
+        self._decode: dict[int, tuple] = {}
+        self._sb: list[int] = [0] * len(_SB_FIELDS)
+        #: Instructions processed since the last ``finish`` — fanned out
+        #: to the ``_UNIFORM_SLOTS`` counters at flush time.
+        self._uniform_count = 0
+        #: Sum of ``_stall_credit`` values, maintained by the overridden
+        #: credit hooks so the commit hot path can skip the per-cause
+        #: scan whenever no credit is pending (the common case).
+        self._credit_total = 0
+
+    # ------------------------------------------------------------------
+    # Decode cache
+    # ------------------------------------------------------------------
+    def _decode_static(self, static: Instruction, key: int) -> tuple:
+        opclass = static.opclass
+        if static.is_branch:
+            kind = _KIND_BRANCH
+        elif opclass is OpClass.JUMP:
+            kind = _KIND_JUMP
+        elif static.is_load:
+            kind = _KIND_LOAD
+        elif static.is_store:
+            kind = _KIND_STORE
+        else:
+            kind = _KIND_ALU
+        latency = static.latency
+        pool = POOL_OF[opclass]
+        srcs = static.srcs
+        rec = (
+            static,                          # 0: pin against id reuse
+            kind,                            # 1
+            latency,                         # 2
+            srcs,                            # 3
+            len(srcs),                       # 4
+            static.dest,                     # 5
+            _EXEC_SLOT[opclass],             # 6
+            self.fus._busy[pool],            # 7: pool occupancy dict
+            self.fus._sizes[pool],           # 8
+            1 if FU_PIPELINED[opclass] else (latency if latency > 1 else 1),  # 9
+            static.pc // self._block_bytes,  # 10: fetch block
+        )
+        self._decode[key] = rec
+        return rec
+
+    # ------------------------------------------------------------------
+    # Stall-credit hooks (keep _credit_total coherent with the dict;
+    # also used by the base-class drain/stall_fetch_until/macro paths)
+    # ------------------------------------------------------------------
+    def _credit_stall(self, cause: str, cycles: int) -> None:
+        if cycles > 0:
+            self._stall_credit[cause] += cycles
+            self._credit_total += cycles
+
+    def _charge_commit_gap(self, gap: int, bucket: str | None) -> None:
+        stats = self.stats
+        if bucket == "offload":
+            stats.cycles_offload += gap
+            return
+        if self._credit_total:
+            credit = self._stall_credit
+            for cause, field_name in self._credit_fields.items():
+                if not gap:
+                    break
+                available = credit[cause]
+                if available:
+                    take = available if available < gap else gap
+                    credit[cause] = available - take
+                    self._credit_total -= take
+                    setattr(stats, field_name,
+                            getattr(stats, field_name) + take)
+                    gap -= take
+        stats.cycles_host += gap
+
+    # ------------------------------------------------------------------
+    # The compiled per-instruction path
+    # ------------------------------------------------------------------
+    def process(self, dyn: DynamicInstruction) -> InstrTiming:
+        """Assign cycles to one dynamic instruction (fast engine)."""
+        static = dyn.static
+        key = id(static)
+        rec = self._decode.get(key)
+        if rec is None or rec[0] is not static:
+            rec = self._decode_static(static, key)
+        kind = rec[1]
+        latency = rec[2]
+        srcs = rec[3]
+        nsrcs = rec[4]
+
+        sb = self._sb
+        seq = self.seq
+        self.seq = seq + 1
+        pc = dyn.pc
+        next_fetch = self.next_fetch_cycle
+        barrier = self.fetch_barrier
+
+        # ---- fetch & branch prediction -------------------------------
+        fetch_counts = self._fetch_counts
+        fetch_width = self._fetch_width
+        cycle = next_fetch if next_fetch >= barrier else barrier
+        count = fetch_counts.get(cycle, 0)
+        while count >= fetch_width:
+            cycle += 1
+            count = fetch_counts.get(cycle, 0)
+        if rec[10] != self._last_fetch_block:
+            sb[F_IC_ACC] += 1
+            lat_i = self._icache_access(pc)
+            extra = lat_i - self._l1i_latency
+            if extra > 0:
+                sb[F_IC_MISS] += 1
+                cycle += extra
+                count = fetch_counts.get(cycle, 0)
+                self._stall_credit["frontend"] += extra
+                self._credit_total += extra
+            self._last_fetch_block = rec[10]
+        fetch_counts[cycle] = count + 1
+        next_fetch = cycle
+        fetch = cycle
+
+        mispredicted = False
+        if kind == _KIND_BRANCH:
+            sb[F_PRED] += 1
+            taken = bool(dyn.taken)
+            prediction = self._bpred_update(pc, taken)
+            if prediction != taken:
+                mispredicted = True
+                sb[F_MISP] += 1
+            if prediction:
+                if not self._btb_lookup(pc):
+                    sb[F_BTB] += 1
+                    penalty = self._btb_miss_penalty
+                    next_fetch = fetch + 1 + penalty
+                    if penalty > 0:
+                        self._stall_credit["frontend"] += penalty
+                        self._credit_total += penalty
+                else:
+                    # Correctly predicted taken branch ends the fetch group.
+                    next_fetch = fetch + 1
+        elif kind == _KIND_JUMP:
+            if not self._btb_lookup(pc):
+                sb[F_BTB] += 1
+                penalty = self._btb_miss_penalty
+                next_fetch = fetch + 1 + penalty
+                if penalty > 0:
+                    self._stall_credit["frontend"] += penalty
+                    self._credit_total += penalty
+            else:
+                next_fetch = fetch + 1
+
+        # ---- rename / dispatch (in order) ----------------------------
+        rob = self.rob
+        rs = self.rs
+        dispatch = fetch + self._frontend_depth
+        other = self.prev_dispatch_cycle
+        if other > dispatch:
+            dispatch = other
+        if rob._count >= rob.entries:
+            other = rob._commit_ring[rob._head] + 1
+            if other > dispatch:
+                dispatch = other
+        if rs._count >= rs.entries:
+            other = rs._issue_ring[rs._head] + 1
+            if other > dispatch:
+                dispatch = other
+        if kind == _KIND_LOAD:
+            lq = self.lq
+            if lq._count >= lq.entries:
+                other = lq._complete_ring[lq._head] + 1
+                if other > dispatch:
+                    dispatch = other
+        elif kind == _KIND_STORE:
+            sq = self.sq
+            if sq._count >= sq.entries:
+                other = sq._commit_ring[sq._head] + 1
+                if other > dispatch:
+                    dispatch = other
+        self.prev_dispatch_cycle = dispatch
+
+        # ---- operand readiness ---------------------------------------
+        regs_ready = self._regs_ready
+        ready = dispatch + 1
+        for src in srcs:
+            other = regs_ready.get(src, 0)
+            if other > ready:
+                ready = other
+        sb[F_WAKEUPS] += nsrcs
+
+        violated = False
+        if kind == _KIND_LOAD:
+            sb[F_LOADS] += 1
+            if self.conservative_memory:
+                older = self.sq.youngest_older(seq)
+                if older is not None and older.data_ready > ready:
+                    ready = older.data_ready
+            elif self._storesets_enabled:
+                wait_seq = self._ss_load_dispatched(pc)
+                if wait_seq is not None:
+                    predicted = self._store_by_seq.get(wait_seq)
+                    if predicted is not None and predicted.data_ready > ready:
+                        ready = predicted.data_ready
+        elif kind == _KIND_STORE:
+            sb[F_STORES] += 1
+            if self._storesets_enabled and not self.conservative_memory:
+                prev_seq = self._ss_store_dispatched(pc, seq)
+                if prev_seq is not None:
+                    prev = self._store_by_seq.get(prev_seq)
+                    if prev is not None and prev.data_ready > ready:
+                        ready = prev.data_ready
+
+        # ---- issue / execute -----------------------------------------
+        # Inlined _alloc_issue: find the earliest cycle with both a free
+        # unit for the op's full occupancy span and a free issue slot.
+        busy = rec[7]
+        pool_size = rec[8]
+        span = rec[9]
+        issue_counts = self._issue_counts
+        issue_width = self._issue_width
+        cycle = ready
+        if span == 1:
+            while True:
+                occupancy = busy.get(cycle, 0)
+                if occupancy < pool_size:
+                    slots = issue_counts.get(cycle, 0)
+                    if slots < issue_width:
+                        break
+                cycle += 1
+            busy[cycle] = occupancy + 1
+            end = cycle + 1
+        else:
+            while True:
+                free = True
+                for k in range(span):
+                    if busy.get(cycle + k, 0) >= pool_size:
+                        free = False
+                        break
+                if free:
+                    slots = issue_counts.get(cycle, 0)
+                    if slots < issue_width:
+                        break
+                cycle += 1
+            for k in range(span):
+                claim = cycle + k
+                busy[claim] = busy.get(claim, 0) + 1
+            end = cycle + span
+        fus = self.fus
+        if end > fus._max_claimed:
+            fus._max_claimed = end
+        issue_counts[cycle] = slots + 1
+        issue = cycle
+        sb[rec[6]] += 1
+
+        if kind == _KIND_LOAD:
+            addr = dyn.addr
+            # The by-addr index holds the youngest windowed store per
+            # address; host seqs are monotone, so the seq guard only
+            # falls back on the (never-hit) non-monotone probe case.
+            alias = self._sq_by_addr.get(addr)
+            if alias is not None and alias.seq >= seq:
+                alias = None
+                for record in reversed(self._sq_window):
+                    if record.seq < seq and record.addr == addr:
+                        alias = record
+                        break
+            if alias is not None and issue < alias.addr_ready:
+                # The load issued before the aliasing store executed: a
+                # memory-order violation, detected when the store runs.
+                violated = True
+                sb[F_VIOLATIONS] += 1
+                if self._storesets_enabled:
+                    self._ss_train(pc, alias.pc)
+                complete = alias.data_ready + self._store_forward_latency
+                front = next_fetch if next_fetch >= barrier else barrier
+                redirect = alias.addr_ready + self._violation_squash_penalty
+                if redirect > front:
+                    self._stall_credit["squash_memory"] += redirect - front
+                    self._credit_total += redirect - front
+                if redirect > barrier:
+                    barrier = redirect
+            elif alias is not None:
+                # Store-to-load forwarding from the store queue.
+                sb[F_FORWARDS] += 1
+                complete = issue + self._store_forward_latency
+                other = alias.data_ready + self._store_forward_latency
+                if other > complete:
+                    complete = other
+            else:
+                sb[F_DC_ACC] += 1
+                l2 = self.l2
+                before_l2 = l2.hits + l2.misses
+                lat_d = self._dcache_access(addr)
+                if lat_d > self._l1d_latency:
+                    sb[F_DC_MISS] += 1
+                sb[F_L2_ACC] += l2.hits + l2.misses - before_l2
+                complete = issue + 1 + lat_d
+            lq = self.lq
+            lq._complete_ring[lq._head] = complete
+            lq._head = (lq._head + 1) % lq.entries
+            if lq._count < lq.entries:
+                lq._count += 1
+        elif kind == _KIND_STORE:
+            complete = issue + 1
+        else:
+            complete = issue + latency
+
+        # ---- misprediction redirect ----------------------------------
+        if mispredicted:
+            front = next_fetch if next_fetch >= barrier else barrier
+            redirect = complete + self._mispredict_redirect
+            if redirect > front:
+                self._stall_credit["squash_branch"] += redirect - front
+                self._credit_total += redirect - front
+            if redirect > barrier:
+                barrier = redirect
+            # Wrong-path work is not simulated, but its front-end energy
+            # is real: half-rate fetching until the branch resolves,
+            # capped at the ROB window.
+            wrong = (complete - fetch) * fetch_width // 2
+            if wrong > self._rob_entries:
+                wrong = self._rob_entries
+            if wrong > 0:
+                sb[F_WRONGPATH] += wrong
+
+        # ---- commit ----------------------------------------------------
+        # Inlined _alloc_commit (bucket=None): when no stall credit is
+        # pending the whole gap is healthy host time.
+        commit_counts = self._commit_counts
+        commit_width = self._commit_width
+        prev_commit = self.prev_commit_cycle
+        cycle = complete + 1
+        if prev_commit > cycle:
+            cycle = prev_commit
+        gap = cycle - prev_commit
+        if gap:
+            if self._credit_total:
+                self._charge_commit_gap(gap, None)
+            else:
+                sb[F_CYCLES_HOST] += gap
+        count = commit_counts.get(cycle, 0)
+        while count >= commit_width:
+            cycle += 1
+            # Commit-width contention is healthy throughput, not a stall.
+            sb[F_CYCLES_HOST] += 1
+            count = commit_counts.get(cycle, 0)
+        commit_counts[cycle] = count + 1
+        self.prev_commit_cycle = cycle
+        if cycle > self.last_commit_cycle:
+            self.last_commit_cycle = cycle
+        commit = cycle
+
+        rob._commit_ring[rob._head] = commit
+        rob._head = (rob._head + 1) % rob.entries
+        if rob._count < rob.entries:
+            rob._count += 1
+        if commit > rob.last_commit_cycle:
+            rob.last_commit_cycle = commit
+        rs._issue_ring[rs._head] = issue
+        rs._head = (rs._head + 1) % rs.entries
+        if rs._count < rs.entries:
+            rs._count += 1
+
+        if kind == _KIND_STORE:
+            # The address resolves once the base register is ready (AGU
+            # cycle), typically well before the store's data arrives.
+            base_ready = dispatch + 1
+            if nsrcs:
+                other = regs_ready.get(srcs[0], 0)
+                if other > base_ready:
+                    base_ready = other
+            addr_ready = base_ready + 1
+            if issue < addr_ready:
+                addr_ready = issue
+            addr = dyn.addr
+            record = StoreRecord(
+                seq=seq,
+                pc=pc,
+                addr=addr,
+                addr_ready=addr_ready,
+                data_ready=complete,
+                commit=commit,
+            )
+            sq = self.sq
+            window = self._sq_window
+            by_addr = self._sq_by_addr
+            if len(window) == sq.entries:
+                evicted = window[0]
+                if by_addr.get(evicted.addr) is evicted:
+                    del by_addr[evicted.addr]
+            window.append(record)
+            by_addr[addr] = record
+            sq._commit_ring[sq._head] = commit
+            sq._head = (sq._head + 1) % sq.entries
+            if sq._count < sq.entries:
+                sq._count += 1
+            store_by_seq = self._store_by_seq
+            store_by_seq[seq] = record
+            fifo = self._store_seq_fifo
+            fifo.append(seq)
+            if len(fifo) > self._store_fifo_cap:
+                store_by_seq.pop(fifo.popleft(), None)
+            # The store writes the cache when it commits.
+            sb[F_DC_ACC] += 1
+            l2 = self.l2
+            before_l2 = l2.hits + l2.misses
+            lat_d = self._dcache_access(addr)
+            if lat_d > self._l1d_latency:
+                sb[F_DC_MISS] += 1
+            sb[F_L2_ACC] += l2.hits + l2.misses - before_l2
+
+        # ---- writeback / scoreboard ----------------------------------
+        dest = rec[5]
+        if dest is not None:
+            if dest != "r0":
+                regs = self.regs
+                regs.renames += 1
+                regs_ready[dest] = complete
+                self._regs_producer[dest] = seq
+            sb[F_RF_WRITES] += 1
+        # Readiness is re-read *after* the define so a dest that is also
+        # a source sees its new value — matching the interpreted model.
+        for src in srcs:
+            if issue - regs_ready.get(src, 0) <= 2:
+                sb[F_BYPASS] += 1
+            else:
+                sb[F_RF_READS] += 1
+
+        self._uniform_count += 1
+        self.next_fetch_cycle = next_fetch
+        self.fetch_barrier = barrier
+        ops = self._ops_since_prune + 1
+        if ops >= self.PRUNE_INTERVAL:
+            self._ops_since_prune = 0
+            self._prune_slot_windows()
+        else:
+            self._ops_since_prune = ops
+        return InstrTiming(seq, fetch, dispatch, issue, complete, commit,
+                           mispredicted, violated)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def finish(self) -> PipelineResult:
+        """Flush the batched counters, then finalize as usual."""
+        sb = self._sb
+        stats = self.stats
+        n = self._uniform_count
+        if n:
+            self._uniform_count = 0
+            for index in _UNIFORM_SLOTS:
+                sb[index] += n
+        for index, name in enumerate(_SB_FIELDS):
+            value = sb[index]
+            if value:
+                setattr(stats, name, getattr(stats, name) + value)
+                sb[index] = 0
+        return super().finish()
+
+    def run_trace(self, trace) -> PipelineResult:
+        process = self.process
+        for dyn in trace:
+            process(dyn)
+        return self.finish()
+
+
+def make_pipeline(
+    config: CoreConfig | None = None,
+    conservative_memory: bool = False,
+    bus=None,
+) -> OOOPipeline:
+    """Construct a pipeline for the currently selected engine."""
+    from repro.engine import fastpath_enabled
+
+    cls = FastOOOPipeline if fastpath_enabled() else OOOPipeline
+    return cls(config, conservative_memory, bus=bus)

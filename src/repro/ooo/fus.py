@@ -13,8 +13,6 @@ late data, say — does not block older slots that are actually free.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 from repro.isa.opcodes import FU_PIPELINED, OpClass
 
 #: Which pool each operation class executes on.
@@ -43,8 +41,13 @@ class FunctionalUnitPool:
             if pool_sizes.get(name, 0) < 1:
                 raise ValueError(f"pool {name!r} must have at least one unit")
         self._sizes = {name: pool_sizes[name] for name in POOL_NAMES}
+        # Plain dicts probed with .get — a defaultdict would allocate a
+        # zero entry for every cycle merely *examined* by earliest_free,
+        # growing memory on reads.  The pipeline prunes entries behind its
+        # dispatch watermark; the fast path caches direct references to
+        # these dicts, so pruning must mutate them in place.
         self._busy: dict[str, dict[int, int]] = {
-            name: defaultdict(int) for name in POOL_NAMES
+            name: {} for name in POOL_NAMES
         }
         self._max_claimed = 0
 
@@ -63,7 +66,7 @@ class FunctionalUnitPool:
         span = self._occupancy_span(opclass, latency)
         cycle = not_before
         while True:
-            if all(busy[cycle + k] < size for k in range(span)):
+            if all(busy.get(cycle + k, 0) < size for k in range(span)):
                 return cycle
             cycle += 1
 
@@ -74,15 +77,28 @@ class FunctionalUnitPool:
         busy = self._busy[pool]
         span = self._occupancy_span(opclass, latency)
         for k in range(span):
-            if busy[cycle + k] >= size:
+            if busy.get(cycle + k, 0) >= size:
                 raise ValueError(
                     f"pool {pool!r} has no free unit at cycle {cycle + k}"
                 )
         for k in range(span):
-            busy[cycle + k] += 1
+            c = cycle + k
+            busy[c] = busy.get(c, 0) + 1
         end = cycle + span
         if end > self._max_claimed:
             self._max_claimed = end
+
+    def prune_before(self, floor: int) -> None:
+        """Drop occupancy entries below ``floor`` (never probed again).
+
+        The caller guarantees every future ``earliest_free``/``acquire``
+        starts at or after ``floor``.  Mutates the per-pool dicts in place:
+        the fast path holds direct references to them.
+        """
+        for busy in self._busy.values():
+            if busy:
+                for cycle in [c for c in busy if c < floor]:
+                    del busy[cycle]
 
     def all_idle_by(self) -> int:
         """Cycle by which every claimed reservation has finished."""

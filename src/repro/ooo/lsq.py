@@ -8,6 +8,7 @@ the word-granularity ISA.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 
@@ -30,7 +31,15 @@ class StoreQueueModel:
         if entries < 1:
             raise ValueError("store queue needs at least one entry")
         self.entries = entries
-        self._window: list[StoreRecord] = []
+        # maxlen evicts the oldest record on append — O(1), where a list
+        # with pop(0) pays O(window) per store.
+        self._window: deque[StoreRecord] = deque(maxlen=entries)
+        # addr -> youngest windowed store at that address.  Invariant:
+        # holds exactly the youngest same-address record of the window
+        # (push overwrites; eviction deletes only when the evictee still
+        # owns its slot, which implies no other same-address record
+        # remains).  Turns the common alias probe into one dict lookup.
+        self._by_addr: dict[int, StoreRecord] = {}
         # Capacity ring: commit cycles of stores `entries` places back.
         self._commit_ring: list[int] = [0] * entries
         self._head = 0
@@ -42,9 +51,13 @@ class StoreQueueModel:
         return self._commit_ring[self._head] + 1
 
     def push(self, record: StoreRecord) -> None:
-        self._window.append(record)
-        if len(self._window) > self.entries:
-            self._window.pop(0)
+        window = self._window
+        if len(window) == self.entries:
+            evicted = window[0]
+            if self._by_addr.get(evicted.addr) is evicted:
+                del self._by_addr[evicted.addr]
+        window.append(record)
+        self._by_addr[record.addr] = record
         self._commit_ring[self._head] = record.commit
         self._head = (self._head + 1) % self.entries
         if self._count < self.entries:
@@ -52,6 +65,14 @@ class StoreQueueModel:
 
     def youngest_alias(self, addr: int, before_seq: int) -> StoreRecord | None:
         """Youngest store older than ``before_seq`` at the same address."""
+        record = self._by_addr.get(addr)
+        if record is None:
+            # The index covers every windowed address: no entry, no alias.
+            return None
+        if record.seq < before_seq:
+            return record
+        # The youngest same-address store is too young; an older one may
+        # still qualify (only reachable with non-monotone probe seqs).
         for record in reversed(self._window):
             if record.seq < before_seq and record.addr == addr:
                 return record

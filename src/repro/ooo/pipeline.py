@@ -24,8 +24,9 @@ The DynaSpAM framework drives the same engine and adds macro operations
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import deque
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.isa.instructions import DynamicInstruction
 from repro.isa.opcodes import OpClass, latency_of
@@ -55,9 +56,13 @@ _EXEC_COUNTER = {
 }
 
 
-@dataclass
-class InstrTiming:
-    """Cycle assignment of one dynamic instruction."""
+class InstrTiming(NamedTuple):
+    """Cycle assignment of one dynamic instruction.
+
+    A NamedTuple rather than a dataclass: one is built per simulated
+    instruction, and tuple construction is measurably cheaper in the hot
+    loop while keeping the same attribute-access API.
+    """
 
     seq: int
     fetch: int
@@ -123,11 +128,17 @@ class OOOPipeline:
         self.sq = StoreQueueModel(cfg.store_queue)
         self.fus = FunctionalUnitPool(cfg.fu_pools)
 
-        self._fetch_counts: dict[int, int] = defaultdict(int)
-        self._issue_counts: dict[int, int] = defaultdict(int)
-        self._commit_counts: dict[int, int] = defaultdict(int)
+        # Sliding-window slot occupancy.  Keys are cycles; entries behind
+        # the watermarks proven in ``_prune_slot_windows`` can never be
+        # probed again and are deleted on a fixed instruction cadence, so
+        # memory stays bounded by the in-flight window instead of growing
+        # with total simulated cycles.
+        self._fetch_counts: dict[int, int] = {}
+        self._issue_counts: dict[int, int] = {}
+        self._commit_counts: dict[int, int] = {}
+        self._ops_since_prune = 0
         self._store_by_seq: dict[int, StoreRecord] = {}
-        self._store_seq_fifo: list[int] = []
+        self._store_seq_fifo: deque[int] = deque()
 
         self.seq = 0
         self.next_fetch_cycle = 0
@@ -162,8 +173,9 @@ class OOOPipeline:
     # ------------------------------------------------------------------
     def _alloc_fetch(self, pc: int) -> int:
         cfg = self.config
+        counts = self._fetch_counts
         cycle = max(self.next_fetch_cycle, self.fetch_barrier)
-        while self._fetch_counts[cycle] >= cfg.fetch_width:
+        while counts.get(cycle, 0) >= cfg.fetch_width:
             cycle += 1
         block = pc // cfg.block_bytes
         if block != self._last_fetch_block:
@@ -174,20 +186,21 @@ class OOOPipeline:
                 cycle += latency - cfg.l1i_latency
                 self._credit_stall("frontend", latency - cfg.l1i_latency)
             self._last_fetch_block = block
-        self._fetch_counts[cycle] += 1
+        counts[cycle] = counts.get(cycle, 0) + 1
         self.next_fetch_cycle = cycle
         self.stats.fetches += 1
         return cycle
 
     def _alloc_issue(self, opclass: OpClass, ready: int, latency: int) -> int:
+        counts = self._issue_counts
         cycle = ready
         while True:
             cycle = self.fus.earliest_free(opclass, cycle, latency)
-            if self._issue_counts[cycle] < self.config.issue_width:
+            if counts.get(cycle, 0) < self.config.issue_width:
                 break
             cycle += 1
         self.fus.acquire(opclass, cycle, latency)
-        self._issue_counts[cycle] += 1
+        counts[cycle] = counts.get(cycle, 0) + 1
         self.stats.selections += 1
         return cycle
 
@@ -220,27 +233,67 @@ class OOOPipeline:
         stats.cycles_host += gap
 
     def _alloc_commit(self, complete: int, bucket: str | None = None) -> int:
+        counts = self._commit_counts
         cycle = max(complete + 1, self.prev_commit_cycle)
         gap = cycle - self.prev_commit_cycle
         if gap:
             self._charge_commit_gap(gap, bucket)
-        while self._commit_counts[cycle] >= self.config.commit_width:
+        while counts.get(cycle, 0) >= self.config.commit_width:
             cycle += 1
             # Commit-width contention is healthy throughput, not a stall.
             self.stats.cycles_host += 1
-        self._commit_counts[cycle] += 1
+        counts[cycle] = counts.get(cycle, 0) + 1
         self.prev_commit_cycle = cycle
         if cycle > self.last_commit_cycle:
             self.last_commit_cycle = cycle
         self.stats.commits += 1
         return cycle
 
+    #: Instructions between slot-window prunes.  Large enough to keep the
+    #: amortized cost negligible, small enough that the windows never hold
+    #: more than a few thousand stale cycles.
+    PRUNE_INTERVAL = 4096
+
+    def _prune_slot_windows(self) -> None:
+        """Drop slot-count entries that can never be probed again.
+
+        Safe watermarks (all allocation cursors are monotone):
+
+        * fetch slots are probed at cycles >= max(next_fetch_cycle,
+          fetch_barrier) — both only ever increase, and ``_alloc_fetch`` /
+          ``macro_dispatch`` re-read the count *at* the cursor, so entries
+          strictly below it are dead;
+        * issue slots (and FU occupancy) are probed at cycles >= ready >=
+          dispatch + 1 >= prev_dispatch_cycle + 1, so entries at or below
+          ``prev_dispatch_cycle`` are dead;
+        * commit slots are probed at cycles >= max(complete + 1,
+          prev_commit_cycle) >= prev_commit_cycle, so entries strictly
+          below ``prev_commit_cycle`` are dead.
+
+        Deletion happens in place — never by rebuilding the dicts — because
+        the fast path caches direct references to them.
+        """
+        front = self.next_fetch_cycle
+        if self.fetch_barrier > front:
+            front = self.fetch_barrier
+        counts = self._fetch_counts
+        for cycle in [c for c in counts if c < front]:
+            del counts[cycle]
+        issue_floor = self.prev_dispatch_cycle + 1
+        counts = self._issue_counts
+        for cycle in [c for c in counts if c < issue_floor]:
+            del counts[cycle]
+        self.fus.prune_before(issue_floor)
+        counts = self._commit_counts
+        for cycle in [c for c in counts if c < self.prev_commit_cycle]:
+            del counts[cycle]
+
     def _record_store(self, record: StoreRecord) -> None:
         self.sq.push(record)
         self._store_by_seq[record.seq] = record
         self._store_seq_fifo.append(record.seq)
         if len(self._store_seq_fifo) > self.config.store_queue * 2:
-            old = self._store_seq_fifo.pop(0)
+            old = self._store_seq_fifo.popleft()
             self._store_by_seq.pop(old, None)
 
     # ------------------------------------------------------------------
@@ -422,6 +475,10 @@ class OOOPipeline:
                 stats.regfile_reads += 1
 
         stats.instructions += 1
+        self._ops_since_prune += 1
+        if self._ops_since_prune >= self.PRUNE_INTERVAL:
+            self._ops_since_prune = 0
+            self._prune_slot_windows()
         return InstrTiming(seq, fetch, dispatch, issue, complete, commit,
                            mispredicted, violated)
 
@@ -484,10 +541,11 @@ class OOOPipeline:
         """
         seq = self.seq
         self.seq += 1
+        counts = self._fetch_counts
         cycle = max(self.next_fetch_cycle, self.fetch_barrier)
-        while self._fetch_counts[cycle] >= self.config.fetch_width:
+        while counts.get(cycle, 0) >= self.config.fetch_width:
             cycle += 1
-        self._fetch_counts[cycle] += 1
+        counts[cycle] = counts.get(cycle, 0) + 1
         self.next_fetch_cycle = cycle
         dispatch = max(
             cycle + self.config.frontend_depth,
