@@ -338,9 +338,29 @@ def cmd_perfbench(args) -> int:
     from repro.harness.perfbench import (
         ENGINES,
         MODES,
+        compare_perfbench,
         perfbench_report,
         render_perfbench,
+        render_perfbench_compare,
     )
+
+    if args.compare:
+        from repro.obs.diffing import DiffError, load_report
+
+        baseline_path, candidate_path = args.compare
+        try:
+            baseline = load_report(baseline_path)
+            candidate = load_report(candidate_path)
+            comparison = compare_perfbench(
+                baseline, candidate, force=args.force
+            )
+        except DiffError as exc:
+            return _fail(str(exc))
+        if args.json:
+            print(json.dumps(comparison, indent=2))
+        else:
+            print(render_perfbench_compare(comparison))
+        return 0
 
     kernels = None
     if args.kernels:
@@ -525,6 +545,14 @@ def main(argv=None) -> int:
         "--profile", action="store_true",
         help="cProfile one fast-engine pass; top-10 cumulative functions "
              "go into the report")
+    perfbench_parser.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE.json", "CANDIDATE.json"),
+        default=None,
+        help="compare two saved perfbench reports (per-cell instr/sec "
+             "ratio + geomean) instead of measuring")
+    perfbench_parser.add_argument(
+        "--force", action="store_true",
+        help="with --compare: proceed despite a schema-version mismatch")
 
     serve_parser = sub.add_parser(
         "serve", help="start the simulation job server")

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.engine import fastpath_enabled
+from repro.fabric.compiled import functional_plan_of
 from repro.fabric.configuration import Configuration, PlacedOp
 from repro.isa.executor import Memory
 from repro.isa.instructions import DynamicInstruction
@@ -109,8 +110,6 @@ class FunctionalFabric:
         intra-trace memory semantics.
         """
         if fastpath_enabled():
-            from repro.fabric.compiled import functional_plan_of
-
             plan = functional_plan_of(configuration)
             if plan is not None:
                 return self._execute_plan(

@@ -4,8 +4,12 @@
 sweep take end to end"; this module answers a different question: **how
 fast does the simulator itself execute**, in dynamic instructions per
 second and fabric invocations per second, per kernel and mode, for each
-engine (the compiled fast path of ``repro.ooo.fastpath`` /
-``repro.fabric.compiled`` vs the interpreted reference model).
+engine.  The "fast" engine is the full production stack — the compiled
+fast path of ``repro.ooo.fastpath`` / ``repro.fabric.compiled`` *plus*
+the invocation-timing memo of ``repro.fabric.memo`` — while
+"interpreted" forces both tiers off, i.e. the pure reference model, so
+the reported speedup is the whole optimization stack against the
+reference.
 
 Methodology:
 
@@ -31,11 +35,13 @@ from __future__ import annotations
 import math
 import time
 
-from repro.engine import use_fastpath
+from repro.engine import use_fastpath, use_memo
 
 #: Version of the perfbench JSON layout (independent of the simulation
 #: report schema — throughput reports are not `repro diff` inputs).
-PERFBENCH_SCHEMA_VERSION = 1
+#: v2: memo-tier counters per cell and per engine; cells with zero
+#: invocations report ``invocations_per_sec: null`` instead of ``0.0``.
+PERFBENCH_SCHEMA_VERSION = 2
 
 #: The Figure 8 suite's execution modes.
 MODES = ("baseline", "mapping_only", "accelerate")
@@ -44,7 +50,7 @@ ENGINES = ("fast", "interpreted")
 
 
 def _geomean(values) -> float:
-    values = [v for v in values if v > 0]
+    values = [v for v in values if v is not None and v > 0]
     if not values:
         return 0.0
     return math.exp(sum(math.log(v) for v in values) / len(values))
@@ -58,7 +64,9 @@ def _measure_cell(trace, mode: str, engine: str, repeat: int) -> dict:
     fast = engine == "fast"
     best = None
     for _ in range(max(1, repeat)):
-        with use_fastpath(fast):
+        # "fast" is the production stack (compiled fastpath + invocation
+        # memo); "interpreted" is the pure reference with both tiers off.
+        with use_fastpath(fast), use_memo(fast):
             if mode == "baseline":
                 pipeline = make_pipeline()
                 started = time.perf_counter()
@@ -84,7 +92,16 @@ def _measure_cell(trace, mode: str, engine: str, repeat: int) -> dict:
         "wall_seconds": elapsed,
         "instr_per_sec": instructions / elapsed,
         "invocations": invocations,
-        "invocations_per_sec": invocations / elapsed,
+        # A cell that never invoked the fabric (baseline mode, or a
+        # kernel whose traces never became ready) has no invocation
+        # throughput — null, not a misleading 0.0 that would poison
+        # ratio math downstream.
+        "invocations_per_sec": (
+            invocations / elapsed if invocations else None
+        ),
+        "memo_hits": getattr(stats, "invocation_memo_hits", 0),
+        "memo_misses": getattr(stats, "invocation_memo_misses", 0),
+        "batched_invocations": getattr(stats, "batched_invocations", 0),
     }
 
 
@@ -125,6 +142,11 @@ def perfbench_report(
             ),
             "total_instructions": sum(c["instructions"] for c in cells),
             "total_wall_seconds": sum(c["wall_seconds"] for c in cells),
+            "total_memo_hits": sum(c["memo_hits"] for c in cells),
+            "total_memo_misses": sum(c["memo_misses"] for c in cells),
+            "total_batched_invocations": sum(
+                c["batched_invocations"] for c in cells
+            ),
         }
 
     report = {
@@ -209,4 +231,121 @@ def render_perfbench(report: dict) -> str:
     if "speedup" in report:
         lines.append(f"{'speedup':>12}: {report['speedup']:.2f}x "
                      f"(fast vs interpreted, geomean instr/s)")
+    fast = engines.get("fast")
+    if fast and "total_memo_hits" in fast:
+        probes = fast["total_memo_hits"] + fast["total_memo_misses"]
+        rate = fast["total_memo_hits"] / probes if probes else 0.0
+        lines.append(
+            f"{'memo':>12}: {fast['total_memo_hits']:,} hits / "
+            f"{fast['total_memo_misses']:,} misses ({rate:.1%}) | "
+            f"{fast['total_batched_invocations']:,} batched invocations"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# ``repro perfbench --compare A.json B.json``
+
+
+def compare_perfbench(
+    baseline: dict, candidate: dict, force: bool = False
+) -> dict:
+    """Per-cell throughput deltas between two perfbench reports.
+
+    Reuses the compatibility discipline of :mod:`repro.obs.diffing`:
+    mismatched perfbench schema versions are refused unless ``force``,
+    and a code-fingerprint mismatch is surfaced as a warning (the usual
+    case — comparing across commits is the point of the tool).
+    """
+    from repro.obs.diffing import DiffError
+
+    warnings: list[str] = []
+    for name, report in (("baseline", baseline), ("candidate", candidate)):
+        if report.get("experiment") != "perfbench":
+            raise DiffError(f"{name} report is not a perfbench report")
+    a_ver = baseline.get("perfbench_schema_version")
+    b_ver = candidate.get("perfbench_schema_version")
+    if a_ver != b_ver:
+        message = (
+            f"perfbench schema mismatch: baseline v{a_ver}, "
+            f"candidate v{b_ver}"
+        )
+        if not force:
+            raise DiffError(message + " (use --force to compare anyway)")
+        warnings.append(message)
+    if baseline.get("fingerprint") != candidate.get("fingerprint"):
+        warnings.append(
+            "code fingerprints differ (expected when comparing commits)"
+        )
+    for knob in ("scale", "repeat"):
+        if baseline.get(knob) != candidate.get(knob):
+            warnings.append(
+                f"{knob} differs: baseline {baseline.get(knob)!r}, "
+                f"candidate {candidate.get(knob)!r}"
+            )
+
+    def _cells(report):
+        out = {}
+        for engine, summary in report.get("engines", {}).items():
+            for cell in summary["cells"]:
+                out[(engine, cell["kernel"], cell["mode"])] = cell
+        return out
+
+    a_cells, b_cells = _cells(baseline), _cells(candidate)
+    rows = []
+    for key in sorted(set(a_cells) & set(b_cells)):
+        a, b = a_cells[key], b_cells[key]
+        ratio = (
+            b["instr_per_sec"] / a["instr_per_sec"]
+            if a["instr_per_sec"] else None
+        )
+        rows.append({
+            "engine": key[0],
+            "kernel": key[1],
+            "mode": key[2],
+            "baseline_instr_per_sec": a["instr_per_sec"],
+            "candidate_instr_per_sec": b["instr_per_sec"],
+            "ratio": ratio,
+        })
+    only_a = sorted(set(a_cells) - set(b_cells))
+    only_b = sorted(set(b_cells) - set(a_cells))
+    if only_a:
+        warnings.append(f"{len(only_a)} cells only in baseline")
+    if only_b:
+        warnings.append(f"{len(only_b)} cells only in candidate")
+
+    per_engine = {}
+    for engine in sorted({row["engine"] for row in rows}):
+        per_engine[engine] = _geomean(
+            row["ratio"] for row in rows if row["engine"] == engine
+        )
+    return {
+        "kind": "perfbench_compare",
+        "warnings": warnings,
+        "cells": rows,
+        "geomean_ratio": per_engine,
+    }
+
+
+def render_perfbench_compare(comparison: dict) -> str:
+    """One-screen delta view: per-cell instr/sec ratio plus geomeans."""
+    lines = []
+    for warning in comparison["warnings"]:
+        lines.append(f"warning: {warning}")
+    lines.append(
+        f"{'engine':>12} {'kernel':>8} {'mode':>14} "
+        f"{'baseline':>14} {'candidate':>14} {'ratio':>8}"
+    )
+    for row in comparison["cells"]:
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] else "n/a"
+        lines.append(
+            f"{row['engine']:>12} {row['kernel']:>8} {row['mode']:>14} "
+            f"{row['baseline_instr_per_sec']:>14,.0f} "
+            f"{row['candidate_instr_per_sec']:>14,.0f} {ratio:>8}"
+        )
+    for engine, ratio in comparison["geomean_ratio"].items():
+        lines.append(
+            f"{engine:>12} geomean instr/s ratio: {ratio:.3f}x "
+            f"(candidate vs baseline)"
+        )
     return "\n".join(lines)

@@ -57,10 +57,16 @@ EVENT_TYPES: dict[str, str] = {
     "ccache.evict": "LRU replacement evicted an entry",
     # Fabric (repro.fabric.fabric via repro.core.multifabric)
     "fabric.reconfig": "a spatial fabric was reconfigured for a trace",
+    # Engine tiers (repro.fabric.memo; filtered by cross-tier identity
+    # comparisons — see repro.engine.ENGINE_TIER_EVENTS)
+    "fabric.memo_hit": "an invocation replayed a memoized timeline",
+    "fabric.memo_miss": "an invocation timing walk populated the memo",
     # Offload (repro.core.offload + framework squash detection)
     "offload.dispatch": "a fat atomic invocation was dispatched",
     "offload.commit": "a fat atomic invocation committed",
     "offload.squash": "an invocation squashed (cause=branch|memory)",
+    "offload.batch": "consecutive same-key invocations batched into one "
+                     "super-step (memo tier)",
     # Host pipeline (repro.ooo.pipeline)
     "pipeline.drain": "the back end drained before a mapping phase",
     "pipeline.phase": "the execution phase changed (host|mapping|offload)",

@@ -23,6 +23,10 @@ class StoreSetPredictor:
         self._next_set_id = 0
         self.violations_trained = 0
         self.load_waits = 0
+        #: Bumped whenever the learned sets (SSIT) change, so callers that
+        #: cache ``same_set``-derived predictions can validate with one
+        #: integer comparison instead of re-querying per memory op.
+        self.generation = 0
 
     def _slot(self, pc: int) -> int:
         return (pc >> 2) % self.ssit_entries
@@ -66,6 +70,7 @@ class StoreSetPredictor:
     def train_violation(self, load_pc: int, store_pc: int) -> None:
         """Merge the load and store into a common store set."""
         self.violations_trained += 1
+        self.generation += 1
         load_slot = self._slot(load_pc)
         store_slot = self._slot(store_pc)
         load_set = self._ssit.get(load_slot)

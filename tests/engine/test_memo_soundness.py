@@ -1,0 +1,324 @@
+"""Adversarial soundness tests for the invocation-timing memo tier.
+
+The memo (``repro.fabric.memo``) replays a cached timeline whenever a
+configuration is re-invoked with the same dynamic-input key.  These tests
+attack the key: each one perturbs exactly one dynamic input that *must*
+change the timing outcome — an operand-dependent D-cache latency, a
+store-set alias induced by this occurrence's addresses, a host-store
+wait, an intra-trace store prediction, the speculation mode — and
+demands both a memo **miss** and a result bit-identical to what a
+memo-off fabric produces from the same starting state.  A false hit on
+any of these would replay a stale timeline and silently corrupt cycles.
+
+The paired-run discipline: every scenario is executed twice from
+scratch — one fresh fabric with the memo forced on, one with it forced
+off — over the *same* invocation sequence, and every field of every
+``InvocationResult`` must match.  The memo-on run's hit/miss counters
+then pin down which invocations replayed.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro.fabric.memo as memo_mod
+from repro.core import DynaSpAM, DynaSpAMConfig
+from repro.engine import use_fastpath, use_memo
+from repro.fabric.fabric import InvocationContext, SpatialFabric
+from repro.fabric.memo import (
+    INVOCATION_MEMO_CAP,
+    MEMO_PROBE_MIN_HITS,
+    MEMO_PROBE_WINDOW,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_warmup(monkeypatch):
+    """Probe from the first invocation.  The production warm-up bypass
+    (first ``MEMO_PROBE_WARMUP`` invocations never touch the memo) would
+    otherwise hide every short adversarial sequence below; it has its own
+    dedicated test."""
+    monkeypatch.setattr(memo_mod, "MEMO_PROBE_WARMUP", 0)
+from repro.isa.opcodes import Opcode, OpClass
+from repro.ooo.stats import PipelineStats
+from tests.fabric.test_execution import (
+    configure,
+    ctx,
+    flat_cache,
+    inst_src,
+    livein,
+    make_config,
+    make_store_load,
+    placed,
+)
+
+
+def mkctx(start=10, live_in_ready=None, mem_addrs=None, speculative=True,
+          dcache_access=flat_cache, **kw):
+    return InvocationContext(
+        start_lower_bound=start,
+        live_in_ready=live_in_ready or {},
+        mem_addrs=mem_addrs or {},
+        dcache_access=dcache_access,
+        speculative=speculative,
+        **kw,
+    )
+
+
+def _canon(result) -> tuple:
+    """Every timing-visible field of an ``InvocationResult``."""
+    return (
+        result.start,
+        result.complete,
+        tuple(sorted(result.finish_times.items())),
+        tuple(sorted(result.liveout_ready.items())),
+        tuple(
+            (e.pos, e.mem_index, e.addr, e.kind,
+             e.start, e.addr_known, e.finish)
+            for e in result.mem_events
+        ),
+        tuple(result.violations),
+        result.structural_ii,
+        result.fu_ops,
+        result.datapath_transfers,
+        result.fifo_ops,
+        result.occupancy_cycles,
+    )
+
+
+def _run_sequence(build, memo: bool, shared_fabric: bool):
+    """Run ``build()``'s invocation sequence on fresh state.
+
+    ``build`` returns ``(configuration, [context, ...])``; contexts are
+    rebuilt per run so stateful ``dcache_access`` closures start fresh.
+    With ``shared_fabric`` the sequence pipelines on one fabric (starts
+    advance occurrence to occurrence); without, each invocation gets a
+    freshly configured fabric so its start — and therefore the
+    start-relative key — repeats exactly.  Returns the canonical results
+    and the stats the contexts ticked.
+    """
+    stats = PipelineStats()
+    configuration, contexts = build(stats)
+    fabric = configure(SpatialFabric(), configuration)
+    results = []
+    with use_fastpath(False), use_memo(memo):
+        for c in contexts:
+            if not shared_fabric:
+                fabric = configure(SpatialFabric(), configuration)
+            results.append(_canon(fabric.execute(configuration, c)))
+    return results, stats
+
+
+def _assert_paired(build, expect_hits: int, expect_misses: int,
+                   shared_fabric: bool = False):
+    with_memo, stats = _run_sequence(build, True, shared_fabric)
+    without, _ = _run_sequence(build, False, shared_fabric)
+    assert with_memo == without, "memo tier diverged from the engine walk"
+    assert stats.invocation_memo_hits == expect_hits
+    assert stats.invocation_memo_misses == expect_misses
+
+
+def test_repeated_invocation_hits_and_matches():
+    """Sanity: identical dynamic inputs replay, and the replayed second
+    invocation (pipelined start, steady-state occupancy) still matches."""
+
+    def build(stats):
+        cfg = make_config([
+            placed(0, Opcode.ADD, OpClass.INT_ALU, 0, [livein("r1")],
+                   dest="r2"),
+            placed(1, Opcode.ADD, OpClass.INT_ALU, 1, [inst_src(0, 1)],
+                   dest="r3"),
+        ], live_ins=["r1"], live_outs={"r3": 1})
+        return cfg, [ctx(start=10, stats=stats) for _ in range(3)]
+
+    _assert_paired(build, expect_hits=2, expect_misses=1,
+                   shared_fabric=True)
+
+
+def test_perturbed_dcache_latency_misses_and_matches():
+    """A load whose D-cache latency changes between occurrences must not
+    replay the old latency's timeline."""
+
+    def build(stats):
+        cfg = make_config([
+            placed(0, Opcode.LW, OpClass.LOAD, 0, [livein("r1")],
+                   roles=["base"], pool="ldst", dest="r2", mem_index=0,
+                   pc=0x40),
+            placed(1, Opcode.ADD, OpClass.INT_ALU, 1, [inst_src(0, 1)],
+                   dest="r3"),
+        ], live_ins=["r1"], live_outs={"r3": 1},
+            mem=[(0x40, "load")])
+        latencies = iter([2, 2, 50])   # third occurrence misses the cache
+
+        def dcache(addr):
+            return next(latencies)
+
+        return cfg, [
+            mkctx(mem_addrs={0: 0x100}, stats=stats, dcache_access=dcache)
+            for _ in range(3)
+        ]
+
+    _assert_paired(build, expect_hits=1, expect_misses=2)
+
+
+def test_alias_flip_misses_and_matches():
+    """An occurrence whose load newly aliases an older in-flight store
+    (address equality this occurrence only) must miss: the load now
+    forwards from the store instead of going to the D-cache."""
+
+    def build(stats):
+        cfg, _ = make_store_load(same_addr=True)
+        return cfg, [
+            ctx(mem_addrs={0: 0x100, 1: 0x200}, stats=stats),  # no alias
+            ctx(mem_addrs={0: 0x100, 1: 0x100}, stats=stats),  # alias
+            ctx(mem_addrs={0: 0x100, 1: 0x100}, stats=stats),  # alias again
+        ]
+
+    _assert_paired(build, expect_hits=1, expect_misses=2)
+
+
+def test_host_store_wait_perturbation_misses_and_matches():
+    """A changed ``extra_mem_wait`` (an aliasing in-flight host store from
+    the store queue) must miss — the wait delays the memory op."""
+
+    def build(stats):
+        cfg, addrs = make_store_load(same_addr=False)
+        return cfg, [
+            ctx(mem_addrs=addrs, stats=stats),
+            ctx(mem_addrs=addrs, stats=stats, extra_mem_wait={1: 500}),
+            ctx(mem_addrs=addrs, stats=stats, extra_mem_wait={1: 500}),
+        ]
+
+    _assert_paired(build, expect_hits=1, expect_misses=2)
+
+
+def test_store_set_prediction_change_misses_and_matches():
+    """A changed Store-Sets prediction (the load must wait for the
+    predicted older store) must miss."""
+
+    def build(stats):
+        cfg, addrs = make_store_load(same_addr=False)
+        return cfg, [
+            ctx(mem_addrs=addrs, stats=stats),
+            ctx(mem_addrs=addrs, stats=stats, predicted_store_pos={1: 1}),
+            ctx(mem_addrs=addrs, stats=stats, predicted_store_pos={1: 1}),
+        ]
+
+    _assert_paired(build, expect_hits=1, expect_misses=2)
+
+
+def test_speculation_flip_misses_and_matches():
+    """Speculation mode changes the whole memory-ordering discipline."""
+
+    def build(stats):
+        cfg, addrs = make_store_load(same_addr=False)
+        return cfg, [
+            ctx(mem_addrs=addrs, stats=stats, speculative=True),
+            ctx(mem_addrs=addrs, stats=stats, speculative=False),
+            ctx(mem_addrs=addrs, stats=stats, speculative=False),
+        ]
+
+    _assert_paired(build, expect_hits=1, expect_misses=2)
+
+
+def test_live_in_arrival_change_misses_and_matches():
+    """A live-in arriving later than ``start`` gates the dataflow; the
+    clamped-at-(-bus) floor must still distinguish late arrivals."""
+
+    def build(stats):
+        cfg = make_config([
+            placed(0, Opcode.ADD, OpClass.INT_ALU, 0, [livein("r1")],
+                   dest="r2"),
+        ], live_ins=["r1"], live_outs={"r2": 0})
+        return cfg, [
+            ctx(start=10, stats=stats),
+            ctx(start=10, live_in_ready={"r1": 40}, stats=stats),
+            ctx(start=10, live_in_ready={"r1": 40}, stats=stats),
+        ]
+
+    _assert_paired(build, expect_hits=1, expect_misses=2)
+
+
+def test_memo_stays_bounded():
+    """Distinct keys beyond the cap must not grow the memo without bound
+    (PR 5's pruning contract, applied to the new cache)."""
+    cfg = make_config([
+        placed(0, Opcode.ADD, OpClass.INT_ALU, 0, [livein("r1")],
+               dest="r2"),
+    ], live_ins=["r1"], live_outs={"r2": 0})
+    with use_fastpath(False), use_memo(True):
+        # Warm the probe window first (repeating key -> hits) so the
+        # cold bail-out doesn't retire the memo before the cap matters.
+        for _ in range(MEMO_PROBE_MIN_HITS + 1):
+            fabric = configure(SpatialFabric(), cfg)
+            fabric.execute(cfg, ctx(start=0))
+        for i in range(INVOCATION_MEMO_CAP + 64):
+            fabric = configure(SpatialFabric(), cfg)
+            # Every invocation gets a fresh live-in arrival offset -> a
+            # fresh key.
+            fabric.execute(cfg, ctx(start=0, live_in_ready={"r1": 10 + i}))
+    assert not getattr(cfg, "_memo_cold", False)
+    assert len(cfg._invocation_memo) <= INVOCATION_MEMO_CAP
+
+
+def test_memo_goes_cold_on_non_repeating_keys():
+    """A configuration whose dynamic inputs never repeat must stop being
+    probed after the adaptive window — and still match the engine walk."""
+    def build(stats):
+        cfg = make_config([
+            placed(0, Opcode.ADD, OpClass.INT_ALU, 0, [livein("r1")],
+                   dest="r2"),
+        ], live_ins=["r1"], live_outs={"r2": 0})
+        return cfg, [
+            ctx(start=0, live_in_ready={"r1": 10 + i}, stats=stats)
+            for i in range(MEMO_PROBE_WINDOW + 16)
+        ]
+
+    _assert_paired(build, expect_hits=0, expect_misses=MEMO_PROBE_WINDOW)
+
+
+def test_warmup_invocations_bypass_the_memo(monkeypatch):
+    """The first ``MEMO_PROBE_WARMUP`` invocations of a configuration must
+    run the engine untouched — no key build, no hit/miss tick — and the
+    memo must still match the engine walk once probing begins."""
+    monkeypatch.setattr(memo_mod, "MEMO_PROBE_WARMUP", 4)
+
+    def build(stats):
+        cfg = make_config([
+            placed(0, Opcode.ADD, OpClass.INT_ALU, 0, [livein("r1")],
+                   dest="r2"),
+        ], live_ins=["r1"], live_outs={"r2": 0})
+        return cfg, [ctx(start=10, stats=stats) for _ in range(7)]
+
+    # 4 bypassed + 1 miss + 2 hits.
+    _assert_paired(build, expect_hits=2, expect_misses=1)
+
+
+def test_flipped_branch_occurrence_rejected_by_fast_segment():
+    """The batch path's occurrence probe must reject an occurrence whose
+    embedded branch flipped — that occurrence has a different trace key
+    and must take the general walk (which detects the squash)."""
+    machine = DynaSpAM(ds_config=DynaSpAMConfig(mode="accelerate"))
+    configuration = SimpleNamespace(
+        _occurrence_probe=(3, ((1, 0x44, True),))
+    )
+    matching = [
+        SimpleNamespace(pc=0x40, taken=None),
+        SimpleNamespace(pc=0x44, taken=True),
+        SimpleNamespace(pc=0x48, taken=None),
+    ]
+    flipped = [
+        SimpleNamespace(pc=0x40, taken=None),
+        SimpleNamespace(pc=0x44, taken=False),
+        SimpleNamespace(pc=0x48, taken=None),
+    ]
+    truncated = matching[:2]
+    with use_memo(True):
+        assert machine._segment_fast(
+            matching, 0, configuration, None) == matching
+        assert machine._segment_fast(flipped, 0, configuration, None) is None
+        assert machine._segment_fast(
+            truncated, 0, configuration, None) is None
+    with use_memo(False):
+        assert machine._segment_fast(
+            matching, 0, configuration, None) is None
