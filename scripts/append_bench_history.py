@@ -92,10 +92,28 @@ def perfbench_record(report: dict) -> dict:
     }
 
 
+def program_rows(report: dict) -> dict:
+    """Per-ingested-program speedup rows (``repro bench --programs``).
+
+    Keyed by program stem; the content-hash abbreviation rides along so
+    the history distinguishes records made against edited sources.
+    """
+    return {
+        stem: {
+            "abbrev": row.get("abbrev"),
+            "speedup": row.get("speedup"),
+            "baseline_cycles": row.get("baseline_cycles"),
+            "dynaspam_cycles": row.get("dynaspam_cycles"),
+            "dynamic_instructions": row.get("dynamic_instructions"),
+        }
+        for stem, row in (report.get("programs") or {}).items()
+    }
+
+
 def history_record(report: dict) -> dict:
     if report.get("experiment") == "perfbench":
         return perfbench_record(report)
-    return {
+    record = {
         "timestamp": _timestamp(),
         "commit": _commit(),
         "schema_version": report.get("schema_version"),
@@ -107,6 +125,10 @@ def history_record(report: dict) -> dict:
         "bucket_totals": bucket_totals(report),
         "warnings": report.get("warnings", []),
     }
+    programs = program_rows(report)
+    if programs:
+        record["programs"] = programs
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:

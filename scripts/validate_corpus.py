@@ -1,0 +1,75 @@
+"""Validate every corpus/*.spam end-to-end: parse/check round-trip,
+interpreter vs lowered-program output, and per-pass output preservation.
+Used during development; the same checks live in tests/lang/test_corpus.py."""
+
+from __future__ import annotations
+
+import copy
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lang import (  # noqa: E402
+    PASSES,
+    check_module,
+    execute_lowered,
+    format_module,
+    interpret,
+    load_file,
+    lower_module,
+    output_of,
+    parse_module,
+    run_passes,
+)
+
+
+def main() -> int:
+    corpus = sorted((pathlib.Path(__file__).resolve().parent.parent / "corpus").glob("*.spam"))
+    if not corpus:
+        print("no corpus programs found", file=sys.stderr)
+        return 1
+    failures = 0
+    reductions: dict[str, list[str]] = {name: [] for name in PASSES}
+    for path in corpus:
+        try:
+            module = load_file(str(path))
+            reparsed = parse_module(format_module(module), filename=str(path))
+            assert format_module(reparsed) == format_module(module), "round-trip mismatch"
+            ref = interpret(module)
+            lowered = lower_module(module, name=path.stem)
+            got = output_of(execute_lowered(lowered))
+            assert got == ref.output, f"lowered {got} != interp {ref.output}"
+            base_dyn = ref.dynamic_count
+            for name in PASSES:
+                opt = run_passes(copy.deepcopy(module), [name])
+                check_module(opt, allow_reserved=True)
+                opt_res = interpret(opt)
+                assert opt_res.output == ref.output, f"pass {name} changed output"
+                if opt_res.dynamic_count < base_dyn:
+                    reductions[name].append(path.stem)
+            full = run_passes(copy.deepcopy(module), ["lvn", "dce", "licm"])
+            check_module(full, allow_reserved=True)
+            full_res = interpret(full)
+            assert full_res.output == ref.output, "full pipeline changed output"
+            full_lowered = lower_module(full, name=path.stem)
+            full_got = output_of(execute_lowered(full_lowered))
+            assert full_got == ref.output, "optimized lowering changed output"
+            print(
+                f"ok {path.name}: {len(ref.output)} words, dyn {base_dyn} -> "
+                f"{full_res.dynamic_count}, static {lowered.static_size} -> "
+                f"{full_lowered.static_size}"
+            )
+        except Exception as exc:  # noqa: BLE001
+            failures += 1
+            print(f"FAIL {path.name}: {exc}", file=sys.stderr)
+    for name, progs in reductions.items():
+        tag = "ok" if progs else "MISSING"
+        print(f"{tag} pass {name} strictly reduces: {', '.join(progs) or '(none)'}")
+        if not progs:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,9 @@
 
 Usage::
 
-    python -m repro list                          # available benchmarks
+    python -m repro list [--programs DIR]         # available benchmarks
+    python -m repro ingest PROG.spam [--passes lvn,dce,licm]
+                                     [--json] [--emit-ir]
     python -m repro run KM [--scale 0.5] [--mode accelerate]
                            [--no-speculation] [--fabrics 2]
                            [--trace-length 32] [--json]
@@ -17,9 +19,16 @@ Usage::
     python -m repro submit KM [--scale 0.5] [--wait] [--port 8763]
     python -m repro harness fig8 [--scale 1.0] [--jobs 4]  # = repro.harness
 
+``ingest`` runs a ``.spam`` program through the ``repro.lang`` frontend
+(parse, check, optional optimization passes, lowering to the simulator
+ISA) and differentially tests the lowered program against the reference
+interpreter before registering it as a benchmark.
 ``run`` simulates one benchmark on the baseline core and the DynaSpAM
 machine and reports speedup, coverage, trace statistics, and the energy
 ledger — as a human-readable summary or a JSON document for scripting.
+``run --program PROG.spam`` does the same for an ingested frontend
+program (its content-hash abbreviation keys the run caches, so editing
+the source can never replay a stale result).
 ``run --trace-out`` additionally records the lifecycle event stream and
 exports it as Chrome trace-event JSON (load it in https://ui.perfetto.dev
 or chrome://tracing); the simulated numbers are bit-identical either way.
@@ -70,37 +79,169 @@ def _validate_run_args(args) -> str | None:
     return benchmark
 
 
-def cmd_list(_args) -> int:
+def _parse_passes(spec: str | None) -> tuple[str, ...]:
+    """``--passes lvn,dce`` -> ``("lvn", "dce")``; raises ``ValueError``."""
+    if not spec:
+        return ()
+    from repro.lang import parse_pass_spec
+
+    return tuple(parse_pass_spec(spec))
+
+
+def cmd_list(args) -> int:
     from repro.workloads import ALL_ABBREVS, BENCHMARKS
+
+    programs = None
+    if args.programs:
+        from repro.lang import LangError
+        from repro.workloads.suite import discover_programs
+
+        try:
+            programs = discover_programs(args.programs,
+                                         _parse_passes(args.passes))
+        except (LangError, ValueError, OSError) as exc:
+            return _fail(str(exc))
 
     print(f"{'abbrev':>7}  {'name':<22} {'domain':<20} kernel")
     for abbrev in ALL_ABBREVS:
         bench = BENCHMARKS[abbrev]
         print(f"{abbrev:>7}  {bench.name:<22} {bench.domain:<20} "
               f"{bench.kernel}")
+    if programs is not None:
+        print()
+        print(f"programs under {args.programs}:")
+        print(f"  {'name':<14} abbrev")
+        for bench in programs:
+            print(f"  {bench.name:<14} {bench.abbrev}")
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    """Parse, check, optimize, lower, and differentially test one program."""
+    import pathlib
+
+    from repro.lang import (
+        LangError,
+        check_module,
+        execute_lowered,
+        format_module,
+        interpret,
+        load_file,
+        lower_module,
+        output_of,
+        run_passes,
+    )
+    from repro.workloads.suite import register_program
+
+    try:
+        passes = _parse_passes(args.passes)
+        module = load_file(args.program)
+        before = interpret(module)
+        if passes:
+            module = run_passes(module, list(passes))
+            check_module(module, allow_reserved=True)
+        ref = interpret(module)
+        if ref.output != before.output:
+            return _fail(f"{args.program}: passes changed program output")
+        lowered = lower_module(module, name=pathlib.Path(args.program).stem)
+        result = execute_lowered(lowered)
+        got = output_of(result)
+        if got != ref.output:
+            return _fail(
+                f"{args.program}: lowered output {got} diverges from "
+                f"interpreter output {ref.output}")
+        bench = register_program(args.program, passes)
+    except (LangError, ValueError, OSError) as exc:
+        return _fail(str(exc))
+    if args.emit_ir:
+        # Keep stdout pure IR so it can be piped back into `repro ingest`.
+        print(format_module(module), end="")
+        return 0
+    summary = {
+        "program": args.program,
+        "passes": list(passes),
+        "abbrev": bench.abbrev,
+        "functions": len(module.functions),
+        "interpreter": {
+            "output": ref.output,
+            "dynamic_count": ref.dynamic_count,
+            "unoptimized_dynamic_count": before.dynamic_count,
+            "heap_words": ref.heap_words,
+        },
+        "lowered": {
+            "static_size": lowered.static_size,
+            "dynamic_count": result.dynamic_count,
+            "registers_used": len(lowered.var_regs),
+            "spill_slots": len(lowered.spill_slots),
+        },
+        "output_matches_interpreter": True,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"{args.program}: ok "
+          f"(passes: {','.join(passes) if passes else 'none'})")
+    print(f"  registered  {bench.abbrev}")
+    print(f"  interpreter {ref.dynamic_count} dynamic instructions "
+          f"({before.dynamic_count} before passes), "
+          f"{len(ref.output)} words printed")
+    print(f"  lowered     {lowered.static_size} static / "
+          f"{result.dynamic_count} dynamic ISA instructions, "
+          f"{len(lowered.var_regs)} registers, "
+          f"{len(lowered.spill_slots)} spill slots")
+    print("  outputs     interpreter == simulated (differential check ok)")
     return 0
 
 
 def cmd_run(args) -> int:
     from repro.harness.runner import simulation_report
 
-    benchmark = _validate_run_args(args)
-    if benchmark is None:
-        return 2
     sink = None
     if args.trace_out:
         from repro.obs import MemorySink
 
         sink = MemorySink()
-    report = simulation_report(
-        benchmark,
-        args.scale,
-        mode=args.mode,
-        speculation=not args.no_speculation,
-        trace_length=args.trace_length,
-        num_fabrics=args.fabrics,
-        sink=sink,
-    )
+    if args.program is not None:
+        if args.benchmark is not None:
+            return _fail("pass a benchmark abbreviation or --program, "
+                         "not both")
+        if args.scale != 1.0:
+            return _fail("--scale does not apply to --program runs "
+                         "(ingested programs have one fixed problem size)")
+        from repro.harness.runner import program_simulation_report
+        from repro.lang import LangError
+
+        try:
+            report = program_simulation_report(
+                args.program,
+                _parse_passes(args.passes),
+                mode=args.mode,
+                speculation=not args.no_speculation,
+                trace_length=args.trace_length,
+                num_fabrics=args.fabrics,
+                sink=sink,
+            )
+        except (LangError, ValueError, OSError) as exc:
+            return _fail(str(exc))
+        benchmark = report["benchmark"]
+    else:
+        if args.benchmark is None:
+            return _fail("missing benchmark (name one, or use "
+                         "--program PROG.spam)")
+        if args.passes:
+            return _fail("--passes applies only to --program runs")
+        benchmark = _validate_run_args(args)
+        if benchmark is None:
+            return 2
+        report = simulation_report(
+            benchmark,
+            args.scale,
+            mode=args.mode,
+            speculation=not args.no_speculation,
+            trace_length=args.trace_length,
+            num_fabrics=args.fabrics,
+            sink=sink,
+        )
     if sink is not None:
         from repro.obs import write_chrome_trace
 
@@ -274,6 +415,33 @@ def cmd_bench(args) -> int:
     # simulation) and must not leak its cache hits into the timing report.
     accounting, fabric_utilization = figure8_accounting(args.scale)
     warnings = speedup_warnings(result)
+    programs = None
+    if args.programs:
+        # Ingested-program rows run serially in-process: the corpus is
+        # small, and each run resolves through the same layered caches.
+        import pathlib
+
+        from repro.harness.runner import program_simulation_report
+        from repro.lang import LangError
+
+        programs = {}
+        try:
+            paths = sorted(pathlib.Path(args.programs).glob("*.spam"))
+            if not paths:
+                return _fail(f"no .spam programs under {args.programs}")
+            for path in paths:
+                prog_report = program_simulation_report(str(path))
+                programs[path.stem] = {
+                    "abbrev": prog_report["program"]["abbrev"],
+                    "dynamic_instructions":
+                        prog_report["dynamic_instructions"],
+                    "baseline_cycles": prog_report["baseline_cycles"],
+                    "dynaspam_cycles": prog_report["dynaspam_cycles"],
+                    "speedup": prog_report["speedup"],
+                    "coverage": prog_report["coverage"],
+                }
+        except (LangError, ValueError, OSError) as exc:
+            return _fail(str(exc))
     report = {
         **report_provenance(),
         "experiment": "fig8",
@@ -311,6 +479,8 @@ def cmd_bench(args) -> int:
         },
         "profile": profile,
     }
+    if programs is not None:
+        report["programs"] = programs
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -455,8 +625,12 @@ def cmd_submit(args) -> int:
     return 0
 
 
-def _add_run_knobs(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("benchmark")
+def _add_run_knobs(parser: argparse.ArgumentParser,
+                   optional_benchmark: bool = False) -> None:
+    if optional_benchmark:
+        parser.add_argument("benchmark", nargs="?", default=None)
+    else:
+        parser.add_argument("benchmark")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--mode", default="accelerate",
                         choices=["baseline", "mapping_only", "accelerate"])
@@ -472,10 +646,37 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available benchmarks")
+    list_parser = sub.add_parser("list", help="list available benchmarks")
+    list_parser.add_argument(
+        "--programs", metavar="DIR", default=None,
+        help="register and list the .spam programs under DIR instead of "
+             "the built-in kernels")
+    list_parser.add_argument(
+        "--passes", default=None, metavar="lvn,dce,licm",
+        help="optimization pipeline folded into each program's "
+             "registered abbreviation")
 
-    run_parser = sub.add_parser("run", help="simulate one benchmark")
-    _add_run_knobs(run_parser)
+    ingest_parser = sub.add_parser(
+        "ingest",
+        help="parse, check, optimize, and lower one .spam program")
+    ingest_parser.add_argument("program", metavar="PROG.spam")
+    ingest_parser.add_argument(
+        "--passes", default=None, metavar="lvn,dce,licm",
+        help="comma-separated optimization pipeline to run first")
+    ingest_parser.add_argument("--json", action="store_true")
+    ingest_parser.add_argument(
+        "--emit-ir", action="store_true",
+        help="print the (optimized) IR instead of the summary")
+
+    run_parser = sub.add_parser(
+        "run", help="simulate one benchmark or ingested program")
+    _add_run_knobs(run_parser, optional_benchmark=True)
+    run_parser.add_argument(
+        "--program", metavar="PROG.spam", default=None,
+        help="simulate a frontend program instead of a built-in kernel")
+    run_parser.add_argument(
+        "--passes", default=None, metavar="lvn,dce,licm",
+        help="optimization pipeline for --program")
     run_parser.add_argument("--json", action="store_true")
     run_parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
@@ -521,6 +722,10 @@ def main(argv=None) -> int:
     bench_parser.add_argument(
         "--cold", action="store_true",
         help="bypass the run/disk caches so timing measures simulation")
+    bench_parser.add_argument(
+        "--programs", metavar="DIR", default=None,
+        help="also benchmark every .spam program under DIR "
+             "(adds a 'programs' block to the report)")
     bench_parser.add_argument(
         "--dashboard", metavar="DIR", default=None,
         help="also render the report as a self-contained HTML dashboard "
@@ -587,6 +792,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
+    if args.command == "ingest":
+        return cmd_ingest(args)
     if args.command == "run":
         return cmd_run(args)
     if args.command == "explain":

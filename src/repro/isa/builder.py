@@ -61,6 +61,18 @@ class ProgramBuilder:
             validate_reg(src)
         self._blocks[-1].append(Instruction(opcode, dest, srcs, imm, target))
 
+    def raw(
+        self,
+        opcode: Opcode,
+        dest: str | None = None,
+        srcs: tuple[str, ...] = (),
+        imm: float | int | None = None,
+        target: str | None = None,
+    ) -> None:
+        """Emit an instruction the convenience methods don't cover
+        (e.g. register-register shifts, used by ``repro.lang.lower``)."""
+        self._emit(opcode, dest, srcs, imm, target)
+
     def build(self) -> Program:
         """Link and return the finished program."""
         return Program(self._blocks, name=self.name)

@@ -1,0 +1,70 @@
+"""``repro.lang``: the program-ingestion frontend.
+
+A Bril-style SSA-free text IR (``.spam`` files) with a hand-written
+parser, a semantic checker, a reference interpreter, an optimization
+pass pipeline (LVN / DCE / LICM), and a lowering onto the simulator
+ISA — so any user-supplied program becomes a DynaSpAM workload that
+runs through the entire existing stack unchanged.
+
+Typical use::
+
+    from repro.lang import interpret, load_module, lower_module
+
+    module = load_module(source_text, filename="prog.spam")
+    print(interpret(module).output)           # reference semantics
+    lowered = lower_module(module)            # repro.isa Program
+
+See ``docs/frontend.md`` for the grammar and the lowering contract.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lang.ast import Module, format_module
+from repro.lang.check import check_module, entry_function
+from repro.lang.interp import InterpResult, interpret
+from repro.lang.lower import (
+    Lowered,
+    LoweringError,
+    execute_lowered,
+    lower_module,
+    output_of,
+)
+from repro.lang.parser import LangError, parse_module
+from repro.lang.passes import PASSES, parse_pass_spec, run_passes
+
+__all__ = [
+    "InterpResult",
+    "LangError",
+    "Lowered",
+    "LoweringError",
+    "Module",
+    "PASSES",
+    "check_module",
+    "entry_function",
+    "execute_lowered",
+    "format_module",
+    "interpret",
+    "load_file",
+    "load_module",
+    "lower_module",
+    "output_of",
+    "parse_module",
+    "parse_pass_spec",
+    "run_passes",
+]
+
+
+def load_module(source: str, filename: str = "<string>") -> Module:
+    """Parse *and* check ``.spam`` text; the entry point most callers
+    want.  Raises :class:`LangError` with ``file:line:col``."""
+    module = check_module(parse_module(source, filename))
+    entry_function(module)
+    return module
+
+
+def load_file(path: str | Path) -> Module:
+    """Load and validate a ``.spam`` file."""
+    path = Path(path)
+    return load_module(path.read_text(), filename=str(path))

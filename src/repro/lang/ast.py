@@ -1,0 +1,198 @@
+"""AST for the ``.spam`` text IR.
+
+A module is an ordered set of functions; a function body is a flat list
+of :class:`Label` and :class:`Instr` items (Bril-style, SSA-free).
+Values are typed ``int`` / ``bool`` / ``ptr``; operations are the integer
+subset of ``repro.isa.opcodes`` plus memory (``alloc``/``load``/
+``store``/``ptradd``), ``const``, ``print``, ``call``, and control
+(``br``/``jmp``/``ret``).
+
+The pretty-printer emits canonical text that re-parses to an equal
+module (round-trip tested), which is what makes the pass pipeline
+inspectable: ``repro ingest --emit-ir`` shows exactly what will be
+interpreted and lowered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+INT = "int"
+BOOL = "bool"
+PTR = "ptr"
+TYPES = (INT, BOOL, PTR)
+
+#: Value-producing operations: op -> tuple of ``(arg_types, result_type)``
+#: overloads.  ``const`` and ``call`` are handled specially by the checker
+#: (literal payload / callee signature).
+VALUE_OP_SIGNATURES: dict[str, tuple[tuple[tuple[str, ...], str], ...]] = {
+    "add": (((INT, INT), INT),),
+    "sub": (((INT, INT), INT),),
+    "mul": (((INT, INT), INT),),
+    "div": (((INT, INT), INT),),
+    "rem": (((INT, INT), INT),),
+    "shl": (((INT, INT), INT),),
+    "shr": (((INT, INT), INT),),
+    "min": (((INT, INT), INT),),
+    "max": (((INT, INT), INT),),
+    "abs": (((INT,), INT),),
+    "and": (((INT, INT), INT), ((BOOL, BOOL), BOOL)),
+    "or": (((INT, INT), INT), ((BOOL, BOOL), BOOL)),
+    "xor": (((INT, INT), INT), ((BOOL, BOOL), BOOL)),
+    "not": (((BOOL,), BOOL),),
+    "eq": (((INT, INT), BOOL), ((BOOL, BOOL), BOOL), ((PTR, PTR), BOOL)),
+    "ne": (((INT, INT), BOOL), ((BOOL, BOOL), BOOL), ((PTR, PTR), BOOL)),
+    "lt": (((INT, INT), BOOL),),
+    "le": (((INT, INT), BOOL),),
+    "gt": (((INT, INT), BOOL),),
+    "ge": (((INT, INT), BOOL),),
+    "id": (((INT,), INT), ((BOOL,), BOOL), ((PTR,), PTR)),
+    "alloc": (((INT,), PTR),),
+    "load": (((PTR,), INT),),
+    "ptradd": (((PTR, INT), PTR),),
+}
+
+#: Effect operations (no destination): op -> arg-type overloads.
+EFFECT_OP_SIGNATURES: dict[str, tuple[tuple[str, ...], ...]] = {
+    "print": ((INT,), (BOOL,)),
+    "store": ((PTR, INT),),
+}
+
+#: Control operations, validated structurally by the checker.
+CONTROL_OPS = frozenset({"br", "jmp", "ret"})
+
+ALL_OPS = (
+    frozenset(VALUE_OP_SIGNATURES)
+    | frozenset(EFFECT_OP_SIGNATURES)
+    | CONTROL_OPS
+    | {"const", "call"}
+)
+
+#: Operations whose only effect is their destination value.  These are
+#: the removal candidates for DCE and the CSE/hoist candidates for
+#: LVN/LICM.  ``load`` and ``alloc`` produce values but depend on (or
+#: advance) memory state, so they are *not* freely reorderable: LVN
+#: gives them fresh value numbers and LICM never hoists them.
+PURE_VALUE_OPS = frozenset(VALUE_OP_SIGNATURES) - {"load", "alloc"} | {"const"}
+
+
+@dataclass(frozen=True)
+class Position:
+    """Source coordinates of one token/instruction (1-based)."""
+
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A jump target inside a function body (``.name:`` in the text)."""
+
+    name: str
+    pos: Position = field(default_factory=Position, compare=False)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One IR instruction.
+
+    ``dest``/``type`` are set for value-producing ops, ``value`` for
+    ``const``, ``func`` for ``call``, and ``labels`` for ``br``/``jmp``.
+    """
+
+    op: str
+    dest: str | None = None
+    type: str | None = None
+    args: tuple[str, ...] = ()
+    value: int | bool | None = None
+    func: str | None = None
+    labels: tuple[str, ...] = ()
+    pos: Position = field(default_factory=Position, compare=False)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.op in ("br", "jmp", "ret")
+
+
+@dataclass(frozen=True)
+class Function:
+    """A named function: typed params, optional return type, flat body."""
+
+    name: str
+    params: tuple[tuple[str, str], ...] = ()
+    ret: str | None = None
+    items: tuple[Label | Instr, ...] = ()
+    pos: Position = field(default_factory=Position, compare=False)
+
+    def instructions(self):
+        """Iterate over the body's instructions, skipping labels."""
+        for item in self.items:
+            if isinstance(item, Instr):
+                yield item
+
+
+@dataclass(frozen=True)
+class Module:
+    """An ordered collection of functions parsed from one source text."""
+
+    functions: tuple[Function, ...] = ()
+    filename: str = "<string>"
+
+    def function(self, name: str) -> Function | None:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None
+
+    def replace_function(self, new_fn: Function) -> "Module":
+        """A copy of this module with ``new_fn`` swapped in by name."""
+        return Module(
+            tuple(new_fn if fn.name == new_fn.name else fn
+                  for fn in self.functions),
+            self.filename,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Pretty-printer (canonical text form; round-trips through the parser)
+# ---------------------------------------------------------------------------
+def format_instr(instr: Instr) -> str:
+    """Render one instruction in canonical ``.spam`` syntax (no ';')."""
+    parts: list[str] = []
+    if instr.dest is not None:
+        parts.append(f"{instr.dest}: {instr.type} =")
+    parts.append(instr.op)
+    if instr.op == "const":
+        if instr.type == BOOL:
+            parts.append("true" if instr.value else "false")
+        else:
+            parts.append(str(instr.value))
+    if instr.func is not None:
+        parts.append(f"@{instr.func}")
+    parts.extend(instr.args)
+    parts.extend(f".{label}" for label in instr.labels)
+    return " ".join(parts)
+
+
+def format_function(fn: Function) -> str:
+    header = f"@{fn.name}"
+    if fn.params:
+        header += "(" + ", ".join(f"{n}: {t}" for n, t in fn.params) + ")"
+    if fn.ret is not None:
+        header += f": {fn.ret}"
+    lines = [header + " {"]
+    for item in fn.items:
+        if isinstance(item, Label):
+            lines.append(f".{item.name}:")
+        else:
+            lines.append(f"  {format_instr(item)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    """Canonical text of the whole module (ends with a newline)."""
+    return "\n\n".join(format_function(fn) for fn in module.functions) + "\n"

@@ -1,0 +1,227 @@
+"""Semantic checker: types, labels, calls, and definite assignment.
+
+Runs after parsing and before anything consumes a module.  Beyond type
+checking, it enforces *definite assignment* (every variable read is
+assigned on every path from function entry), which is what lets the
+interpreter and the lowered ISA program agree exactly: neither ever
+observes an uninitialized value, so the language needs no default.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    BOOL,
+    CONTROL_OPS,
+    EFFECT_OP_SIGNATURES,
+    Function,
+    Instr,
+    Label,
+    Module,
+    VALUE_OP_SIGNATURES,
+)
+from repro.lang.parser import LangError
+from repro.lang.passes.cfg import build_cfg, definitely_assigned
+
+#: Inlining (and therefore lowering) renames with this prefix; user code
+#: must stay out of the namespace so inlined programs cannot collide.
+RESERVED_PREFIX = "__"
+
+
+def check_module(module: Module, allow_reserved: bool = False) -> Module:
+    """Validate a parsed module; returns it unchanged on success.
+
+    Raises :class:`LangError` with a ``file:line:col`` diagnostic on the
+    first violation found.  ``allow_reserved`` admits ``__``-prefixed
+    names — set when re-checking compiler output (optimization passes
+    synthesize ``__ph*``/``__b*`` labels), never for user source.
+    """
+    by_name = {fn.name: fn for fn in module.functions}
+    for fn in module.functions:
+        _check_function(module, fn, by_name, allow_reserved)
+    return module
+
+
+def entry_function(module: Module) -> Function:
+    """The ``@main`` entry point (no params, no return), or a diagnostic."""
+    main = module.function("main")
+    if main is None:
+        raise LangError("module has no @main function", module.filename)
+    if main.params:
+        raise LangError("@main must take no parameters (programs are "
+                        "self-contained workloads)", module.filename, main.pos)
+    if main.ret is not None:
+        raise LangError("@main must not declare a return type",
+                        module.filename, main.pos)
+    return main
+
+
+def _err(module: Module, fn: Function, instr, message: str) -> LangError:
+    return LangError(f"@{fn.name}: {message}", module.filename, instr.pos)
+
+
+def _check_function(module: Module, fn: Function,
+                    by_name: dict[str, Function],
+                    allow_reserved: bool = False) -> None:
+    # ---- declared variable types (params + every def site) ----------
+    var_types: dict[str, str] = {}
+    for name, type_ in fn.params:
+        if name.startswith(RESERVED_PREFIX) and not allow_reserved:
+            raise LangError(
+                f"@{fn.name}: parameter {name!r} uses the reserved "
+                f"'{RESERVED_PREFIX}' prefix", module.filename, fn.pos)
+        if name in var_types:
+            raise LangError(f"@{fn.name}: duplicate parameter {name!r}",
+                            module.filename, fn.pos)
+        var_types[name] = type_
+
+    labels: set[str] = set()
+    for item in fn.items:
+        if isinstance(item, Label):
+            if item.name in labels:
+                raise LangError(
+                    f"@{fn.name}: duplicate label .{item.name}",
+                    module.filename, item.pos)
+            if item.name.startswith(RESERVED_PREFIX) and not allow_reserved:
+                raise LangError(
+                    f"@{fn.name}: label .{item.name} uses the reserved "
+                    f"'{RESERVED_PREFIX}' prefix", module.filename, item.pos)
+            labels.add(item.name)
+            continue
+        if item.dest is None:
+            continue
+        if item.dest.startswith(RESERVED_PREFIX) and not allow_reserved:
+            raise _err(module, fn, item,
+                       f"variable {item.dest!r} uses the reserved "
+                       f"'{RESERVED_PREFIX}' prefix")
+        declared = var_types.get(item.dest)
+        if declared is None:
+            var_types[item.dest] = item.type
+        elif declared != item.type:
+            raise _err(module, fn, item,
+                       f"variable {item.dest!r} redefined as {item.type} "
+                       f"(previously {declared})")
+
+    # ---- per-instruction structural + type checks -------------------
+    def arg_types(instr: Instr) -> list[str]:
+        types = []
+        for arg in instr.args:
+            t = var_types.get(arg)
+            if t is None:
+                raise _err(module, fn, instr,
+                           f"use of unknown variable {arg!r}")
+            types.append(t)
+        return types
+
+    for item in fn.items:
+        if isinstance(item, Label):
+            continue
+        instr = item
+        op = instr.op
+        if op == "const":
+            if instr.args:
+                raise _err(module, fn, instr, "const takes no arguments")
+            continue                       # literal/type agreement: parser
+        if op == "call":
+            callee = by_name.get(instr.func)
+            if callee is None:
+                raise _err(module, fn, instr,
+                           f"call to unknown function @{instr.func}")
+            got = arg_types(instr)
+            want = [t for _, t in callee.params]
+            if got != want:
+                raise _err(module, fn, instr,
+                           f"call @{callee.name} expects "
+                           f"({', '.join(want) or 'no args'}), got "
+                           f"({', '.join(got) or 'no args'})")
+            if instr.dest is not None:
+                if callee.ret is None:
+                    raise _err(module, fn, instr,
+                               f"@{callee.name} returns nothing but the "
+                               f"call has a destination")
+                if instr.type != callee.ret:
+                    raise _err(module, fn, instr,
+                               f"call result type {instr.type} != "
+                               f"@{callee.name} return type {callee.ret}")
+            continue
+        if op in CONTROL_OPS:
+            if op == "br":
+                if len(instr.args) != 1 or len(instr.labels) != 2:
+                    raise _err(module, fn, instr,
+                               "br needs one condition and two labels")
+                if arg_types(instr)[0] != BOOL:
+                    raise _err(module, fn, instr,
+                               "br condition must be a bool")
+            elif op == "jmp":
+                if instr.args or len(instr.labels) != 1:
+                    raise _err(module, fn, instr, "jmp needs one label")
+            else:                           # ret
+                if instr.labels:
+                    raise _err(module, fn, instr, "ret takes no labels")
+                if fn.ret is None:
+                    if instr.args:
+                        raise _err(module, fn, instr,
+                                   f"@{fn.name} returns nothing but ret "
+                                   f"has a value")
+                else:
+                    if len(instr.args) != 1:
+                        raise _err(module, fn, instr,
+                                   f"ret needs a {fn.ret} value")
+                    if arg_types(instr)[0] != fn.ret:
+                        raise _err(module, fn, instr,
+                                   f"ret value is {arg_types(instr)[0]}, "
+                                   f"function returns {fn.ret}")
+            for label in instr.labels:
+                if label not in labels:
+                    raise _err(module, fn, instr,
+                               f"jump to unknown label .{label}")
+            continue
+        if instr.labels:
+            raise _err(module, fn, instr, f"{op} takes no labels")
+        overloads = (VALUE_OP_SIGNATURES.get(op)
+                     or tuple((sig, None)
+                              for sig in EFFECT_OP_SIGNATURES[op]))
+        got = tuple(arg_types(instr))
+        match = next(((sig, result) for sig, result in overloads
+                      if sig == got), None)
+        if match is None:
+            wanted = " | ".join(
+                "(" + ", ".join(sig) + ")" for sig, _ in overloads)
+            raise _err(module, fn, instr,
+                       f"{op} cannot take ({', '.join(got)}); "
+                       f"expected {wanted}")
+        result = match[1]
+        if result is not None and instr.type != result:
+            raise _err(module, fn, instr,
+                       f"{op} on ({', '.join(got)}) produces {result}, "
+                       f"destination is {instr.type}")
+
+    # ---- functions with a return type must not fall off the end -----
+    if fn.ret is not None:
+        cfg = build_cfg(fn)
+        for i, block in enumerate(cfg.blocks):
+            if not cfg.succs[i] and (block.terminator is None
+                                     or block.terminator.op != "ret"):
+                raise LangError(
+                    f"@{fn.name}: control can fall off the end without "
+                    f"returning a {fn.ret}", module.filename, fn.pos)
+            if (block.terminator is None and i + 1 >= len(cfg.blocks)):
+                raise LangError(
+                    f"@{fn.name}: control can fall off the end without "
+                    f"returning a {fn.ret}", module.filename, fn.pos)
+
+    # ---- definite assignment ----------------------------------------
+    cfg = build_cfg(fn)
+    assigned = definitely_assigned(cfg, {name for name, _ in fn.params})
+    for i, block in enumerate(cfg.blocks):
+        state = assigned[i]
+        if state is None:
+            continue                       # unreachable block
+        state = set(state)
+        for instr in block.instrs:
+            for arg in instr.args:
+                if arg not in state:
+                    raise _err(module, fn, instr,
+                               f"variable {arg!r} may be used before "
+                               f"assignment")
+            if instr.dest is not None:
+                state.add(instr.dest)

@@ -1,0 +1,201 @@
+"""Reference interpreter for checked IR modules.
+
+Executes a module's ``@main`` directly (no lowering), producing the
+printed output, a dynamic instruction count, and optionally the full
+dynamic trace.  Its arithmetic mirrors ``repro.isa.executor`` *exactly*
+— the same ``div``-by-zero result, the same ``int(a / b)`` truncation,
+the same arbitrary-precision integers — because the differential fuzz
+gate asserts bit-for-bit equality between this interpreter and the
+lowered ISA program under every engine tier.
+
+The heap is a bump allocator starting at the same ``HEAP_BASE`` the
+lowering uses, so pointer values (observable through ``eq``/``ne``
+and address arithmetic feeding ``load``/``store``) are identical in
+both executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import WORD_SIZE
+from repro.lang.ast import BOOL, Function, Instr, Label, Module
+from repro.lang.parser import LangError
+
+#: Memory map shared with the lowering: spill slots, print-output
+#: region, and heap live in disjoint gigaword-scale windows so no
+#: realistic program crosses them.
+SPILL_BASE = 0x8_0000
+OUT_BASE = 0x10_0000
+HEAP_BASE = 0x20_0000
+
+
+class InterpError(LangError):
+    """A runtime trap: bad address, negative shift, fuel exhausted."""
+
+
+@dataclass
+class InterpResult:
+    """Outcome of interpreting a module's ``@main``."""
+
+    output: list[int]                       # printed words (bool as 0/1)
+    dynamic_count: int                      # instructions executed
+    trace: list[tuple[str, Instr]] | None   # (function, instr), if recorded
+    heap_words: int                         # words allocated
+
+
+class _FnCode:
+    """A function body flattened for execution: instrs + label indices."""
+
+    __slots__ = ("fn", "instrs", "label_index")
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.instrs: list[Instr] = []
+        self.label_index: dict[str, int] = {}
+        for item in fn.items:
+            if isinstance(item, Label):
+                self.label_index[item.name] = len(self.instrs)
+            else:
+                self.instrs.append(item)
+
+
+# Binary value ops.  ``and``/``or``/``xor`` use the bitwise operators,
+# which Python defines for both int and bool (returning the argument
+# type), matching the IR's polymorphic signatures.  ``div``/``rem``
+# reproduce the executor's exact expressions, including ``int(a / b)``
+# float-division truncation.
+_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: 0 if b == 0 else int(a / b),
+    "rem": lambda a, b: 0 if b == 0 else a % b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+    "min": min,
+    "max": max,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+_MAX_CALL_DEPTH = 200
+
+
+class Interpreter:
+    """One interpretation run; holds memory, output, and fuel."""
+
+    def __init__(self, module: Module, max_steps: int = 5_000_000,
+                 record_trace: bool = False) -> None:
+        self.module = module
+        self.max_steps = max_steps
+        self.code = {fn.name: _FnCode(fn) for fn in module.functions}
+        self.memory: dict[int, int] = {}
+        self.output: list[int] = []
+        self.heap = HEAP_BASE
+        self.steps = 0
+        self.trace: list[tuple[str, Instr]] | None = (
+            [] if record_trace else None)
+
+    # -- traps ---------------------------------------------------------
+    def _trap(self, instr: Instr, message: str) -> InterpError:
+        return InterpError(message, self.module.filename, instr.pos)
+
+    def _check_addr(self, instr: Instr, addr: int) -> int:
+        if addr < 0 or addr % WORD_SIZE:
+            raise self._trap(instr,
+                             f"misaligned or negative address 0x{addr:x}")
+        return addr
+
+    # -- execution -----------------------------------------------------
+    def run(self, entry: str = "main") -> InterpResult:
+        self._call(self.code[entry], [], depth=0)
+        return InterpResult(self.output, self.steps, self.trace,
+                            (self.heap - HEAP_BASE) // WORD_SIZE)
+
+    def _call(self, code: _FnCode, args: list, depth: int):
+        if depth > _MAX_CALL_DEPTH:
+            raise InterpError(
+                f"@{code.fn.name}: call depth exceeded {_MAX_CALL_DEPTH}",
+                self.module.filename, code.fn.pos)
+        env = {name: value
+               for (name, _), value in zip(code.fn.params, args)}
+        pc = 0
+        instrs = code.instrs
+        while pc < len(instrs):
+            instr = instrs[pc]
+            pc += 1
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise self._trap(
+                    instr, f"exceeded {self.max_steps} dynamic instructions")
+            if self.trace is not None:
+                self.trace.append((code.fn.name, instr))
+
+            op = instr.op
+            if op == "const":
+                env[instr.dest] = instr.value
+            elif op in _BINOPS:
+                env[instr.dest] = self._binop(instr, env)
+            elif op == "id":
+                env[instr.dest] = env[instr.args[0]]
+            elif op == "abs":
+                env[instr.dest] = abs(env[instr.args[0]])
+            elif op == "not":
+                env[instr.dest] = not env[instr.args[0]]
+            elif op == "print":
+                self.output.append(int(env[instr.args[0]]))
+            elif op == "alloc":
+                env[instr.dest] = self.heap
+                self.heap += env[instr.args[0]] * WORD_SIZE
+            elif op == "ptradd":
+                env[instr.dest] = (env[instr.args[0]]
+                                   + env[instr.args[1]] * WORD_SIZE)
+            elif op == "load":
+                addr = self._check_addr(instr, env[instr.args[0]])
+                env[instr.dest] = self.memory.get(addr, 0)
+            elif op == "store":
+                addr = self._check_addr(instr, env[instr.args[0]])
+                self.memory[addr] = env[instr.args[1]]
+            elif op == "call":
+                result = self._call(self.code[instr.func],
+                                    [env[a] for a in instr.args], depth + 1)
+                if instr.dest is not None:
+                    env[instr.dest] = result
+            elif op == "jmp":
+                pc = code.label_index[instr.labels[0]]
+            elif op == "br":
+                taken = instr.labels[0] if env[instr.args[0]] \
+                    else instr.labels[1]
+                pc = code.label_index[taken]
+            elif op == "ret":
+                return env[instr.args[0]] if instr.args else None
+            else:  # pragma: no cover - checker rejects unknown ops
+                raise self._trap(instr, f"unimplemented op {op!r}")
+        return None                         # fell off the end (void fn)
+
+    def _binop(self, instr: Instr, env: dict):
+        a = env[instr.args[0]]
+        b = env[instr.args[1]]
+        if instr.op in ("shl", "shr") and b < 0:
+            raise self._trap(instr, f"negative shift count {b}")
+        return _BINOPS[instr.op](a, b)
+
+
+def interpret(module: Module, max_steps: int = 5_000_000,
+              record_trace: bool = False) -> InterpResult:
+    """Interpret ``@main``; see :class:`InterpResult`.
+
+    ``bool`` prints as ``0``/``1`` so the output word list compares
+    directly against the lowered program's output memory region.
+    """
+    interp = Interpreter(module, max_steps=max_steps,
+                         record_trace=record_trace)
+    return interp.run()

@@ -1,0 +1,288 @@
+"""Lowering: checked IR modules -> `repro.isa` programs.
+
+The contract: interpreting a module and functionally executing its
+lowered program produce *identical* printed words and identical heap
+addresses.  The differential fuzz gate holds this across every engine
+tier, so every choice here mirrors either the interpreter or the ISA
+executor exactly.
+
+Shape of the translation:
+
+* **Inlining.**  Calls are inlined bottom-up (recursion is a
+  :class:`LoweringError`) so the result is a single flat function —
+  the ISA has no call instruction or stack discipline.
+* **Register allocation.**  Variables are ranked by static use+def
+  frequency; the top 26 live in ``r1``..``r26``, the rest spill to
+  word slots at ``SPILL_BASE`` addressed off ``r0``.  Reserved:
+  ``r27`` output cursor, ``r28`` heap bump pointer, ``r29`` result
+  temp, ``r30``/``r31`` spill-load scratches.
+* **Memory map.**  ``print v`` stores through ``r27`` (post-
+  incremented) into the output region at ``OUT_BASE``; ``alloc``
+  bumps ``r28`` from ``HEAP_BASE`` — the same base the interpreter
+  uses, making pointer values comparable.
+* **Booleans** are 0/1 words; ``not``/``ne`` lower to ``XOR 1``,
+  ``gt``/``ge`` to swapped ``SLT``/``SLE``.
+
+``alloc``'s size-to-bytes conversion is a shift-left by the constant
+2, which is total for any size value, so lowered execution traps only
+where the interpreter traps (bad addresses, negative shifts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import ExecutionResult, FunctionalExecutor, Memory
+from repro.isa.instructions import WORD_SIZE
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.lang.ast import Function, Instr, Label, Module
+from repro.lang.interp import HEAP_BASE, OUT_BASE, SPILL_BASE
+from repro.lang.parser import LangError
+from repro.lang.passes.cfg import form_blocks, normalize_terminators
+
+#: Registers the allocator may hand to variables.
+ALLOCATABLE = tuple(f"r{i}" for i in range(1, 27))
+OUT_CURSOR = "r27"
+HEAP_PTR = "r28"
+TEMP = "r29"
+SCRATCH = ("r30", "r31")
+
+EXIT_LABEL = "__exit"
+
+
+class LoweringError(LangError):
+    """The module cannot be lowered (e.g. recursion)."""
+
+
+# ---------------------------------------------------------------------------
+# Call inlining
+# ---------------------------------------------------------------------------
+def _rename(instr: Instr, prefix: str) -> Instr:
+    return Instr(
+        instr.op,
+        prefix + instr.dest if instr.dest is not None else None,
+        instr.type,
+        tuple(prefix + a for a in instr.args),
+        instr.value,
+        instr.func,
+        tuple(prefix + t for t in instr.labels),
+        instr.pos,
+    )
+
+
+def _inline_items(module: Module, fn: Function, stack: frozenset[str],
+                  counter: list[int]) -> list[Label | Instr]:
+    out: list[Label | Instr] = []
+    for item in fn.items:
+        if not (isinstance(item, Instr) and item.op == "call"):
+            out.append(item)
+            continue
+        callee = module.function(item.func)
+        if callee.name in stack:
+            raise LoweringError(
+                f"cannot lower recursive call to @{callee.name} "
+                f"(the ISA has no call stack)", module.filename, item.pos)
+        k = counter[0]
+        counter[0] += 1
+        prefix = f"__inl{k}_"
+        # Not under ``prefix``: a callee label named ``done`` would
+        # otherwise collide with the generated return label.
+        done = f"__ret{k}"
+        for (pname, ptype), arg in zip(callee.params, item.args):
+            out.append(Instr("id", prefix + pname, ptype, (arg,),
+                             pos=item.pos))
+        body = _inline_items(module, callee, stack | {callee.name}, counter)
+        for bitem in body:
+            if isinstance(bitem, Label):
+                out.append(Label(prefix + bitem.name, bitem.pos))
+            elif bitem.op == "ret":
+                if item.dest is not None:
+                    out.append(Instr("id", item.dest, item.type,
+                                     (prefix + bitem.args[0],),
+                                     pos=bitem.pos))
+                out.append(Instr("jmp", labels=(done,), pos=bitem.pos))
+            else:
+                out.append(_rename(bitem, prefix))
+        out.append(Label(done))
+    return out
+
+
+def inline_main(module: Module) -> Function:
+    """``@main`` with every call transitively inlined."""
+    main = module.function("main")
+    items = _inline_items(module, main, frozenset({"main"}), [0])
+    return Function("main", (), None, tuple(items), main.pos)
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+@dataclass
+class Lowered:
+    """A lowered module: the linked program plus allocation metadata."""
+
+    program: Program
+    var_regs: dict[str, str]                # reg-allocated variables
+    spill_slots: dict[str, int]             # spilled variable -> slot index
+    static_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.static_size = len(self.program)
+
+
+def _allocate(fn: Function) -> tuple[dict[str, str], dict[str, int]]:
+    freq: dict[str, int] = {}
+    for instr in fn.instructions():
+        for var in (instr.dest, *instr.args):
+            if var is not None:
+                freq[var] = freq.get(var, 0) + 1
+    ranked = sorted(freq, key=lambda v: (-freq[v], v))
+    var_regs = dict(zip(ranked, ALLOCATABLE))
+    spill_slots = {v: i for i, v in enumerate(ranked[len(ALLOCATABLE):])}
+    return var_regs, spill_slots
+
+
+class _Emitter:
+    def __init__(self, builder: ProgramBuilder, var_regs: dict[str, str],
+                 spill_slots: dict[str, int]) -> None:
+        self.b = builder
+        self.var_regs = var_regs
+        self.spill_slots = spill_slots
+
+    def _slot_addr(self, var: str) -> int:
+        return SPILL_BASE + self.spill_slots[var] * WORD_SIZE
+
+    def operands(self, instr: Instr) -> list[str]:
+        """Registers holding the args (spilled vars load into scratch)."""
+        loaded: dict[str, str] = {}
+        scratch = list(SCRATCH)
+        regs = []
+        for arg in instr.args:
+            reg = self.var_regs.get(arg) or loaded.get(arg)
+            if reg is None:
+                reg = scratch.pop(0)
+                self.b.lw(reg, "r0", self._slot_addr(arg))
+                loaded[arg] = reg
+            regs.append(reg)
+        return regs
+
+    def write_dest(self, dest: str, compute) -> None:
+        """``compute(reg)`` emits the op into ``reg``; spills if needed."""
+        reg = self.var_regs.get(dest)
+        if reg is not None:
+            compute(reg)
+        else:
+            compute(TEMP)
+            self.b.sw("r0", TEMP, self._slot_addr(dest))
+
+    # -- one IR instruction -> ISA instructions -----------------------
+    def emit(self, instr: Instr) -> None:
+        b = self.b
+        op = instr.op
+        if op == "const":
+            self.write_dest(instr.dest,
+                            lambda d: b.li(d, int(instr.value)))
+            return
+        if op == "ret":                     # only @main's own (void) rets
+            b.jmp(EXIT_LABEL)
+            return
+        if op == "jmp":
+            b.jmp("L_" + instr.labels[0])
+            return
+
+        srcs = self.operands(instr)
+        if op == "br":
+            b.bne(srcs[0], "r0", "L_" + instr.labels[0])
+            b.jmp("L_" + instr.labels[1])
+        elif op == "print":
+            b.sw(OUT_CURSOR, srcs[0], 0)
+            b.addi(OUT_CURSOR, OUT_CURSOR, WORD_SIZE)
+        elif op == "store":
+            b.sw(srcs[0], srcs[1], 0)
+        elif op == "load":
+            self.write_dest(instr.dest, lambda d: b.lw(d, srcs[0], 0))
+        elif op == "alloc":
+            # dest := heap pointer, then bump by size * 4 (shift by a
+            # constant 2: total for any size, unlike a multiply lowered
+            # through variable shift amounts).
+            self.write_dest(instr.dest, lambda d: b.mov(d, HEAP_PTR))
+            b.shl(TEMP, srcs[0], 2)
+            b.add(HEAP_PTR, HEAP_PTR, TEMP)
+        elif op == "ptradd":
+            b.shl(TEMP, srcs[1], 2)
+            self.write_dest(instr.dest, lambda d: b.add(d, srcs[0], TEMP))
+        elif op == "id":
+            self.write_dest(instr.dest, lambda d: b.mov(d, srcs[0]))
+        elif op == "not":
+            self.write_dest(instr.dest, lambda d: b.xori(d, srcs[0], 1))
+        elif op == "ne":
+            def compute_ne(d: str) -> None:
+                b.seq(d, srcs[0], srcs[1])
+                b.xori(d, d, 1)
+            self.write_dest(instr.dest, compute_ne)
+        elif op in _SWAPPED:
+            opcode = _SWAPPED[op]
+            self.write_dest(
+                instr.dest,
+                lambda d: b.raw(opcode, d, (srcs[1], srcs[0])))
+        elif op in _BINARY:
+            opcode = _BINARY[op]
+            self.write_dest(
+                instr.dest,
+                lambda d: b.raw(opcode, d, (srcs[0], srcs[1])))
+        elif op == "abs":
+            self.write_dest(instr.dest, lambda d: b.abs_(d, srcs[0]))
+        else:  # pragma: no cover - checker + inliner leave nothing else
+            raise LoweringError(f"cannot lower op {op!r}", pos=instr.pos)
+
+
+_BINARY = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "div": Opcode.DIV, "rem": Opcode.REM,
+    "shl": Opcode.SHL, "shr": Opcode.SHR,
+    "and": Opcode.AND, "or": Opcode.OR, "xor": Opcode.XOR,
+    "min": Opcode.MIN, "max": Opcode.MAX,
+    "eq": Opcode.SEQ, "lt": Opcode.SLT, "le": Opcode.SLE,
+}
+_SWAPPED = {"gt": Opcode.SLT, "ge": Opcode.SLE}
+
+
+def lower_module(module: Module, name: str = "spam") -> Lowered:
+    """Lower a checked module to a linked ISA program."""
+    fn = normalize_terminators(inline_main(module))
+    var_regs, spill_slots = _allocate(fn)
+    builder = ProgramBuilder(name)
+    builder.li(OUT_CURSOR, OUT_BASE)
+    builder.li(HEAP_PTR, HEAP_BASE)
+    emitter = _Emitter(builder, var_regs, spill_slots)
+    for block in form_blocks(fn):
+        if block.label is not None:
+            builder.label("L_" + block.label)
+        for instr in block.instrs:
+            emitter.emit(instr)
+    builder.label(EXIT_LABEL)
+    builder.halt()
+    return Lowered(builder.build(), var_regs, spill_slots)
+
+
+# ---------------------------------------------------------------------------
+# Execution + architectural output
+# ---------------------------------------------------------------------------
+def execute_lowered(lowered: Lowered,
+                    max_instructions: int = 5_000_000) -> ExecutionResult:
+    """Functionally execute a lowered program on a fresh memory image."""
+    executor = FunctionalExecutor(max_instructions=max_instructions)
+    return executor.run(lowered.program, Memory())
+
+
+def output_of(result: ExecutionResult) -> list[int]:
+    """The printed words of a lowered run, read back from ``OUT_BASE``.
+
+    Directly comparable to :class:`repro.lang.interp.InterpResult`'s
+    ``output`` list — the differential contract.
+    """
+    count = (int(result.registers.read(OUT_CURSOR)) - OUT_BASE) // WORD_SIZE
+    return [int(result.memory.load(OUT_BASE + i * WORD_SIZE))
+            for i in range(count)]

@@ -1,0 +1,41 @@
+"""Dead code elimination: global, iterative, per function.
+
+Deletes value-producing instructions whose destination is never read
+anywhere in the function, repeating until a fixpoint (deleting one
+instruction can orphan the instructions that fed it).
+
+Removable ops are the pure value ops plus ``load`` — a dead load has
+no effect on memory.  ``alloc`` is deliberately *kept* even when dead:
+it advances the bump allocator, so removing one would shift every
+subsequent allocation's address, which is observable through pointer
+equality and out-of-bounds-by-construction address arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Function, Instr, Label, Module, PURE_VALUE_OPS
+
+_REMOVABLE = PURE_VALUE_OPS | {"load"}
+
+
+def dce_function(fn: Function) -> Function:
+    items = list(fn.items)
+    while True:
+        used: set[str] = set()
+        for item in items:
+            if isinstance(item, Instr):
+                used.update(item.args)
+        kept = [item for item in items
+                if isinstance(item, Label)
+                or item.op not in _REMOVABLE
+                or item.dest in used]
+        if len(kept) == len(items):
+            return Function(fn.name, fn.params, fn.ret, tuple(kept), fn.pos)
+        items = kept
+
+
+def run(module: Module) -> Module:
+    """Apply DCE to every function in the module."""
+    for fn in module.functions:
+        module = module.replace_function(dce_function(fn))
+    return module

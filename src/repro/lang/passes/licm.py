@@ -1,0 +1,157 @@
+"""Loop-invariant code motion via natural loops and dominators.
+
+For each natural loop, pure value instructions whose arguments are
+loop-invariant are moved to a freshly inserted preheader, provided the
+move cannot change behavior:
+
+* the destination has exactly one definition inside the loop,
+* the destination is not live into the header (no use of the
+  previous iteration's value),
+* and either the defining block dominates every loop exit (the
+  instruction runs on any entry that eventually leaves the loop), or
+  the op cannot trap *and* the destination is dead outside the loop —
+  the speculative case that unlocks the common while-loop body, where
+  nothing dominates the header exit.  ``shl``/``shr``/``div``/``rem``
+  are never speculated (negative shift counts and float-conversion
+  overflow can trap).
+
+Memory ops, ``alloc``, and calls never move.  Terminators are
+normalized first so preheader edges can be retargeted by label alone;
+the pass iterates to a fixpoint, which lets inner-loop hoists cascade
+out of outer loops.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Function, Instr, Module, PURE_VALUE_OPS
+from repro.lang.passes.cfg import (
+    CFG,
+    Block,
+    Loop,
+    build_cfg,
+    dominators,
+    liveness,
+    natural_loops,
+    normalize_terminators,
+    to_function,
+)
+
+
+#: Pure ops that can still raise at runtime (negative shift counts,
+#: float-conversion overflow in div/rem) — never hoisted speculatively.
+_TRAPPING = frozenset({"shl", "shr", "div", "rem"})
+
+
+def _hoist_one(fn: Function, cfg: CFG, loop: Loop) -> Function | None:
+    """Hoist what this loop allows; None if nothing moved."""
+    body = loop.body
+    header = loop.header
+
+    defs: dict[str, list[tuple[int, int]]] = {}
+    for b in body:
+        for k, instr in enumerate(cfg.blocks[b].instrs):
+            if instr.dest is not None:
+                defs.setdefault(instr.dest, []).append((b, k))
+
+    # Invariance fixpoint.  ``invariant[(b, k)]`` holds the discovery
+    # round, used later to order hoisted instructions by dependency.
+    invariant: dict[tuple[int, int], int] = {}
+    round_no = 0
+    changed = True
+    while changed:
+        changed = False
+        round_no += 1
+        for b in body:
+            for k, instr in enumerate(cfg.blocks[b].instrs):
+                if (b, k) in invariant or instr.dest is None \
+                        or instr.op not in PURE_VALUE_OPS:
+                    continue
+                ok = True
+                for arg in instr.args:
+                    sites = defs.get(arg, [])
+                    if not sites:
+                        continue           # defined outside: invariant
+                    if len(sites) != 1 or sites[0] not in invariant:
+                        ok = False
+                        break
+                if ok:
+                    invariant[(b, k)] = round_no
+                    changed = True
+
+    dom = dominators(cfg)
+    live_in, _ = liveness(cfg)
+    exits = [b for b in body if any(s not in body for s in cfg.succs[b])]
+    outside_live: set[str] = set()
+    for e in exits:
+        for s in cfg.succs[e]:
+            if s not in body:
+                outside_live |= live_in[s]
+
+    def hoistable(site: tuple[int, int]) -> bool:
+        b, k = site
+        instr = cfg.blocks[b].instrs[k]
+        dest = instr.dest
+        if len(defs[dest]) != 1 or dest in live_in[header]:
+            return False
+        if all(b in dom[e] for e in exits):
+            return True
+        return instr.op not in _TRAPPING and dest not in outside_live
+
+    sites = sorted((s for s in invariant if hoistable(s)),
+                   key=lambda s: (invariant[s], s))
+    if not sites:
+        return None
+
+    # Build the preheader and splice it in front of the header.
+    names = set(cfg.index)
+    ph = 0
+    while f"__ph{ph}" in names:
+        ph += 1
+    header_name = cfg.names[header]
+    hoisted = [cfg.blocks[s[0]].instrs[s[1]] for s in sites]
+    preheader = Block(f"__ph{ph}",
+                      hoisted + [Instr("jmp", labels=(header_name,))])
+
+    removed = set(sites)
+    blocks: list[Block] = []
+    for i, block in enumerate(cfg.blocks):
+        label = block.label if i != header else header_name
+        instrs = []
+        for k, instr in enumerate(block.instrs):
+            if (i, k) in removed:
+                continue
+            # Retarget non-back-edge jumps into the header.
+            if instr.is_terminator and i not in body \
+                    and header_name in instr.labels:
+                instr = Instr(instr.op, args=instr.args,
+                              labels=tuple(preheader.label
+                                           if t == header_name else t
+                                           for t in instr.labels),
+                              pos=instr.pos)
+            instrs.append(instr)
+        if i == header:
+            blocks.append(preheader)
+        blocks.append(Block(label, instrs))
+    return to_function(fn, blocks)
+
+
+def licm_function(fn: Function) -> Function:
+    fn = normalize_terminators(fn)
+    progress = True
+    while progress:
+        progress = False
+        cfg = build_cfg(fn)
+        for loop in natural_loops(cfg):
+            result = _hoist_one(fn, cfg, loop)
+            if result is not None:
+                fn = result
+                progress = True
+                break                      # CFG changed: recompute
+    return fn
+
+
+def run(module: Module) -> Module:
+    """Apply LICM to every function in the module."""
+    for fn in module.functions:
+        module = module.replace_function(licm_function(fn))
+    return module

@@ -1,0 +1,178 @@
+"""Local value numbering: CSE, constant folding, and copy propagation.
+
+Per basic block (CS6120 lesson 3 style).  Each computed value gets a
+number and a *home* variable (the variable that currently holds it);
+recomputations are rewritten to ``id home``, and a recomputation into
+its own home — ``v = id v`` after rewriting — is deleted outright,
+which is where LVN strictly reduces the dynamic instruction count.
+
+``load``, ``alloc``, and ``call`` results get fresh opaque numbers
+(memory state and allocator position make them non-reusable); their
+arguments are still canonicalized.  Constant folding reuses the
+interpreter's op table so folded results match execution bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import BOOL, Function, Instr, Module
+from repro.lang.interp import _BINOPS
+from repro.lang.passes.cfg import Block, form_blocks, to_function
+
+#: Ops where operand order is irrelevant — canonicalized by sorting
+#: value numbers so ``add a b`` and ``add b a`` share a number.
+_COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor",
+                          "eq", "ne", "min", "max"})
+
+#: Don't fold shifts by silly amounts — the folded constant would be
+#: astronomically large (or the shift would trap at runtime anyway).
+_MAX_FOLD_SHIFT = 1024
+
+
+def _fold(instr: Instr, const_args: list) -> int | bool | None:
+    """Evaluate a pure op over constant args; None if not foldable."""
+    op = instr.op
+    try:
+        if op == "id":
+            result = const_args[0]
+        elif op == "abs":
+            result = abs(const_args[0])
+        elif op == "not":
+            result = not const_args[0]
+        elif op in _BINOPS:
+            a, b = const_args
+            if op in ("shl", "shr") and not 0 <= b <= _MAX_FOLD_SHIFT:
+                return None
+            result = _BINOPS[op](a, b)
+        else:
+            return None
+    except (OverflowError, ValueError, ZeroDivisionError):
+        return None
+    return bool(result) if instr.type == BOOL else int(result)
+
+
+class _Numbering:
+    """Value-number state for one block."""
+
+    def __init__(self) -> None:
+        self.var2num: dict[str, int] = {}
+        self.val2num: dict[tuple, int] = {}
+        self.home: dict[int, str] = {}
+        self.const: dict[int, int | bool] = {}
+        self._next = 0
+
+    def fresh(self, var: str) -> int:
+        """An opaque number for a value computed outside our view."""
+        num = self._next
+        self._next = num + 1
+        self.home[num] = var
+        self.write(var, num)
+        return num
+
+    def number_of(self, var: str) -> int:
+        if var not in self.var2num:
+            self.fresh(var)                # param / defined in another block
+        return self.var2num[var]
+
+    def intern(self, value: tuple, dest: str) -> tuple[int, bool]:
+        """Number for ``value``; second item is True if it already existed."""
+        if value in self.val2num:
+            return self.val2num[value], True
+        num = self._next
+        self._next = num + 1
+        self.val2num[value] = num
+        self.home[num] = dest
+        return num, False
+
+    def write(self, dest: str, num: int) -> None:
+        """Record ``dest = <num>``, re-homing values dest used to hold."""
+        old = self.var2num.get(dest)
+        self.var2num[dest] = num
+        if old is None or old == num:
+            return
+        if self.home.get(old) == dest:
+            replacement = next((v for v, n in self.var2num.items()
+                                if n == old and v != dest), None)
+            if replacement is not None:
+                self.home[old] = replacement
+            else:
+                del self.home[old]
+                self.val2num = {v: n for v, n in self.val2num.items()
+                                if n != old}
+
+
+def _lvn_block(block: Block) -> list[Instr]:
+    state = _Numbering()
+    out: list[Instr] = []
+    for instr in block.instrs:
+        op = instr.op
+        arg_nums = [state.number_of(a) for a in instr.args]
+        new_args = tuple(state.home.get(n, a)
+                         for n, a in zip(arg_nums, instr.args))
+
+        if instr.dest is None or op == "call" or op in ("load", "alloc"):
+            # Effects, control, and opaque results: canonicalize args,
+            # give any dest a fresh number.
+            out.append(Instr(op, instr.dest, instr.type, new_args,
+                             instr.value, instr.func, instr.labels,
+                             instr.pos))
+            if instr.dest is not None:
+                state.fresh(instr.dest)
+            continue
+
+        if op == "id":
+            num = arg_nums[0]
+            home = state.home.get(num, new_args[0])
+            if home == instr.dest and state.var2num.get(instr.dest) == num:
+                continue                   # v = id v: a no-op, delete it
+            out.append(Instr("id", instr.dest, instr.type, (home,),
+                             pos=instr.pos))
+            state.write(instr.dest, num)
+            continue
+
+        # const and pure value ops
+        if op == "const":
+            value = ("const", instr.type, instr.value)
+        else:
+            const_args = [state.const.get(n) for n in arg_nums]
+            if all(c is not None for c in const_args):
+                folded = _fold(instr, const_args)
+                if folded is not None:
+                    instr = Instr("const", instr.dest, instr.type,
+                                  value=folded, pos=instr.pos)
+                    op = "const"
+            if op == "const":
+                value = ("const", instr.type, instr.value)
+            else:
+                key = tuple(sorted(arg_nums)) if op in _COMMUTATIVE \
+                    else tuple(arg_nums)
+                value = (op, instr.type, key)
+
+        num, existed = state.intern(value, instr.dest)
+        if existed:
+            home = state.home[num]
+            if home == instr.dest and state.var2num.get(instr.dest) == num:
+                continue                   # recompute into own home: no-op
+            out.append(Instr("id", instr.dest, instr.type, (home,),
+                             pos=instr.pos))
+        else:
+            if value[0] == "const":
+                state.const[num] = value[2]
+            # A fold (pure op -> const) drops the now-meaningless args.
+            out.append(Instr(op, instr.dest, instr.type,
+                             () if op == "const" else new_args,
+                             instr.value, instr.func, instr.labels,
+                             instr.pos))
+        state.write(instr.dest, num)
+    return out
+
+
+def lvn_function(fn: Function) -> Function:
+    blocks = [Block(b.label, _lvn_block(b)) for b in form_blocks(fn)]
+    return to_function(fn, blocks)
+
+
+def run(module: Module) -> Module:
+    """Apply LVN to every function in the module."""
+    for fn in module.functions:
+        module = module.replace_function(lvn_function(fn))
+    return module

@@ -1,0 +1,195 @@
+"""Reference interpreter semantics — the oracle the lowering is tested
+against, so its edge cases (division truncation, zero guards, memory
+traps) are pinned here explicitly."""
+
+import pytest
+
+from repro.lang import load_module
+from repro.lang.interp import InterpError, interpret
+
+
+def run(source: str):
+    return interpret(load_module(source, filename="test.spam"))
+
+
+def test_arithmetic_and_print():
+    result = run("""\
+@main {
+  a: int = const 7;
+  b: int = const 3;
+  s: int = add a b;
+  d: int = sub a b;
+  m: int = mul a b;
+  q: int = div a b;
+  r: int = rem a b;
+  print s; print d; print m; print q; print r;
+  ret;
+}
+""")
+    assert result.output == [10, 4, 21, 2, 1]
+
+
+def test_division_truncates_toward_zero_like_the_isa():
+    # The ISA executor computes int(a / b): truncation, not floor.
+    result = run("""\
+@main {
+  a: int = const -7;
+  b: int = const 2;
+  q: int = div a b;
+  print q;
+  ret;
+}
+""")
+    assert result.output == [-3]
+
+
+def test_division_and_rem_by_zero_yield_zero():
+    result = run("""\
+@main {
+  a: int = const 5;
+  z: int = const 0;
+  q: int = div a z;
+  r: int = rem a z;
+  print q; print r;
+  ret;
+}
+""")
+    assert result.output == [0, 0]
+
+
+def test_bools_print_as_words():
+    result = run("""\
+@main {
+  t: bool = const true;
+  f: bool = const false;
+  n: bool = not f;
+  a: bool = and t n;
+  print t; print f; print n; print a;
+  ret;
+}
+""")
+    assert result.output == [1, 0, 1, 1]
+
+
+def test_comparisons():
+    result = run("""\
+@main {
+  a: int = const 3;
+  b: int = const 5;
+  l: bool = lt a b;
+  g: bool = gt a b;
+  e: bool = eq a a;
+  n: bool = ne a b;
+  print l; print g; print e; print n;
+  ret;
+}
+""")
+    assert result.output == [1, 0, 1, 1]
+
+
+def test_memory_round_trip_and_heap_accounting():
+    result = run("""\
+@main {
+  n: int = const 4;
+  p: ptr = alloc n;
+  i: int = const 2;
+  q: ptr = ptradd p i;
+  v: int = const 77;
+  store q v;
+  w: int = load q;
+  print w;
+  ret;
+}
+""")
+    assert result.output == [77]
+    assert result.heap_words == 4
+
+
+def test_fresh_memory_reads_zero():
+    result = run("""\
+@main {
+  n: int = const 2;
+  p: ptr = alloc n;
+  v: int = load p;
+  print v;
+  ret;
+}
+""")
+    assert result.output == [0]
+
+
+def test_calls_and_recursion():
+    result = run("""\
+@fact(n: int): int {
+  one: int = const 1;
+  base: bool = le n one;
+  br base .done .rec;
+.rec:
+  m: int = sub n one;
+  r: int = call @fact m;
+  r: int = mul r n;
+  ret r;
+.done:
+  ret one;
+}
+
+@main {
+  six: int = const 6;
+  f: int = call @fact six;
+  print f;
+  ret;
+}
+""")
+    assert result.output == [720]
+
+
+def test_runaway_recursion_is_trapped():
+    with pytest.raises(InterpError):
+        run("""\
+@spin(n: int): int {
+  r: int = call @spin n;
+  ret r;
+}
+@main {
+  z: int = const 0;
+  x: int = call @spin z;
+  ret;
+}
+""")
+
+
+def test_step_budget_is_enforced():
+    source = """\
+@main {
+  one: int = const 1;
+.loop:
+  one: int = add one one;
+  jmp .loop;
+}
+"""
+    module = load_module(source, filename="spin.spam")
+    with pytest.raises(InterpError):
+        interpret(module, max_steps=1000)
+
+
+def test_trace_recording_matches_dynamic_count():
+    result = interpret(
+        load_module("@main {\n  x: int = const 1;\n  print x;\n  ret;\n}\n",
+                    filename="t.spam"),
+        record_trace=True,
+    )
+    assert result.trace is not None
+    assert len(result.trace) == result.dynamic_count
+
+
+def test_negative_shift_count_is_trapped():
+    with pytest.raises(InterpError):
+        run("""\
+@main {
+  a: int = const 1;
+  b: int = const -2;
+  c: int = shl a b;
+  print c;
+  ret;
+}
+""")

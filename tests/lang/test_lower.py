@@ -1,0 +1,162 @@
+"""Lowering onto the simulator ISA: the differential contract, register
+allocation / spilling, call inlining, and the corpus end-to-end."""
+
+import pathlib
+
+import pytest
+
+from repro.lang import (
+    LoweringError,
+    execute_lowered,
+    load_file,
+    load_module,
+    lower_module,
+    output_of,
+)
+from repro.lang.interp import interpret
+from repro.lang.lower import ALLOCATABLE
+
+CORPUS = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "corpus").glob("*.spam")
+)
+
+
+def lower_and_run(source: str, filename: str = "test.spam"):
+    module = load_module(source, filename=filename)
+    lowered = lower_module(module, name="test")
+    return interpret(module), lowered, execute_lowered(lowered)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=[p.stem for p in CORPUS])
+def test_corpus_lowers_to_matching_output(path):
+    module = load_file(str(path))
+    ref = interpret(module)
+    result = execute_lowered(lower_module(module, name=path.stem))
+    assert output_of(result) == ref.output
+
+
+def test_recursion_is_a_lowering_error():
+    module = load_module("""\
+@spin(n: int): int {
+  r: int = call @spin n;
+  ret r;
+}
+@main {
+  z: int = const 0;
+  x: int = call @spin z;
+  print x;
+  ret;
+}
+""", filename="rec.spam")
+    with pytest.raises(LoweringError) as err:
+        lower_module(module, name="rec")
+    assert "recursive" in str(err.value)
+
+
+def test_spilling_beyond_the_register_file():
+    """More live variables than allocatable registers forces spills; the
+    spilled program must still agree with the interpreter."""
+    n = len(ALLOCATABLE) + 10
+    lines = ["@main {"]
+    lines += [f"  v{i}: int = const {i + 1};" for i in range(n)]
+    # Sum them in reverse so every variable stays live until its use.
+    lines += [f"  v0: int = add v0 v{i};" for i in range(1, n)]
+    lines += ["  print v0;", "  ret;", "}"]
+    ref, lowered, result = lower_and_run("\n".join(lines) + "\n")
+    assert output_of(result) == ref.output == [n * (n + 1) // 2]
+    assert lowered.spill_slots, "expected at least one spilled variable"
+    assert len(lowered.var_regs) == len(ALLOCATABLE)
+
+
+def test_multiple_call_sites_of_one_helper():
+    """Regression: the generated per-inline return label must not collide
+    with a callee label named 'done'."""
+    ref, _lowered, result = lower_and_run("""\
+@f(a: int): int {
+  one: int = const 1;
+  c: bool = lt a one;
+  br c .done .big;
+.big:
+  a: int = add a one;
+  jmp .done;
+.done:
+  ret a;
+}
+
+@main {
+  x: int = const 5;
+  y: int = const -3;
+  px: int = call @f x;
+  py: int = call @f y;
+  print px;
+  print py;
+  ret;
+}
+""")
+    assert output_of(result) == ref.output == [6, -3]
+
+
+def test_nested_inlining():
+    ref, _lowered, result = lower_and_run("""\
+@inc(a: int): int {
+  one: int = const 1;
+  r: int = add a one;
+  ret r;
+}
+@twice(a: int): int {
+  r: int = call @inc a;
+  r: int = call @inc r;
+  ret r;
+}
+@main {
+  z: int = const 40;
+  w: int = call @twice z;
+  print w;
+  ret;
+}
+""")
+    assert output_of(result) == ref.output == [42]
+
+
+def test_shifts_and_swapped_comparisons():
+    ref, _lowered, result = lower_and_run("""\
+@main {
+  a: int = const 5;
+  b: int = const 2;
+  s: int = shl a b;
+  t: int = shr s b;
+  g: bool = gt a b;
+  ge: bool = ge b a;
+  print s; print t; print g; print ge;
+  ret;
+}
+""")
+    assert output_of(result) == ref.output == [20, 5, 1, 0]
+
+
+def test_memory_ops_lower_correctly():
+    ref, _lowered, result = lower_and_run("""\
+@main {
+  n: int = const 3;
+  p: ptr = alloc n;
+  q: ptr = alloc n;
+  i: int = const 1;
+  pi: ptr = ptradd p i;
+  qi: ptr = ptradd q i;
+  v: int = const 11;
+  store pi v;
+  w: int = load pi;
+  u: int = load qi;
+  print w;
+  print u;
+  ret;
+}
+""")
+    assert output_of(result) == ref.output == [11, 0]
+
+
+def test_lowered_program_ends_in_halt():
+    module = load_module("@main {\n  x: int = const 1;\n  ret;\n}\n",
+                         filename="t.spam")
+    lowered = lower_module(module, name="t")
+    assert lowered.static_size == len(lowered.program)

@@ -319,3 +319,85 @@ def test_bench_report_records_tracing_disabled(tmp_path, capsys):
         diskcache.configure()
     report = json.loads(out_path.read_text())
     assert report["tracing"] is False
+
+
+# ---------------------------------------------------------------------------
+# Frontend (repro.lang) subcommands
+# ---------------------------------------------------------------------------
+GOOD_SPAM = """\
+@main {
+  one: int = const 1;
+  two: int = const 2;
+  s: int = add one two;
+  print s;
+  ret;
+}
+"""
+
+
+def test_ingest_command_human_readable(tmp_path, capsys):
+    path = tmp_path / "tiny.spam"
+    path.write_text(GOOD_SPAM)
+    assert main(["ingest", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "differential check ok" in out
+    assert "PROG:tiny:" in out
+
+
+def test_ingest_parse_error_is_one_line_exit_2(tmp_path, capsys):
+    path = tmp_path / "broken.spam"
+    path.write_text("@main {\n  x int = const 1;\n}\n")
+    assert main(["ingest", str(path)]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    lines = captured.err.strip().splitlines()
+    assert len(lines) == 1
+    assert lines[0].startswith("repro: error: ")
+    assert f"{path}:2:" in lines[0]
+
+
+def test_ingest_type_error_is_one_line_exit_2(tmp_path, capsys):
+    path = tmp_path / "typo.spam"
+    path.write_text("@main {\n  x: int = add y y;\n  ret;\n}\n")
+    assert main(["ingest", str(path)]) == 2
+    err = capsys.readouterr().err.strip()
+    assert err.count("\n") == 0
+    assert f"{path}:2:3" in err
+
+
+def test_ingest_unknown_pass_is_exit_2(tmp_path, capsys):
+    path = tmp_path / "tiny.spam"
+    path.write_text(GOOD_SPAM)
+    assert main(["ingest", str(path), "--passes", "nope"]) == 2
+    assert "nope" in capsys.readouterr().err
+
+
+def test_ingest_missing_file_is_exit_2(tmp_path, capsys):
+    assert main(["ingest", str(tmp_path / "absent.spam")]) == 2
+    assert "absent.spam" in capsys.readouterr().err
+
+
+def test_run_program_rejects_conflicting_selection(tmp_path, capsys):
+    path = tmp_path / "tiny.spam"
+    path.write_text(GOOD_SPAM)
+    assert main(["run", "KM", "--program", str(path)]) == 2
+    assert "not both" in capsys.readouterr().err
+    assert main(["run"]) == 2
+    assert "missing benchmark" in capsys.readouterr().err
+    assert main(["run", "KM", "--passes", "lvn"]) == 2
+    assert "--program" in capsys.readouterr().err
+    assert main(["run", "--program", str(path), "--scale", "0.5"]) == 2
+    assert "--scale" in capsys.readouterr().err
+
+
+def test_list_programs(tmp_path, capsys):
+    (tmp_path / "a.spam").write_text(GOOD_SPAM)
+    (tmp_path / "b.spam").write_text(GOOD_SPAM)
+    assert main(["list", "--programs", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "PROG:a:" in out and "PROG:b:" in out
+
+
+def test_list_programs_empty_dir_is_exit_2(tmp_path, capsys):
+    assert main(["list", "--programs", str(tmp_path)]) == 2
+    assert "no .spam programs" in capsys.readouterr().err

@@ -65,3 +65,10 @@ def test_tune_fabric_example(capsys):
     out = run_with_argv("tune_fabric", ["BFS", "0.1"], capsys)
     assert "tuned" in out
     assert "int_alu" in out
+
+
+def test_ingest_program_example(capsys):
+    out = run_with_argv("ingest_program", [], capsys)
+    assert "output unchanged" in out
+    assert "output matches interpreter" in out
+    assert "speedup" in out

@@ -59,3 +59,94 @@ def test_traces_scale_with_problem_size(abbrev):
     small = generate_trace(abbrev, 0.05).dynamic_count
     large = generate_trace(abbrev, 0.2).dynamic_count
     assert large > small
+
+
+# ---------------------------------------------------------------------------
+# Ingested programs (repro.lang frontend)
+# ---------------------------------------------------------------------------
+TINY = """\
+@main {
+  one: int = const 1;
+  two: int = const 2;
+  s: int = add one two;
+  print s;
+  ret;
+}
+"""
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+def test_register_program_is_idempotent(tmp_path):
+    from repro.workloads.suite import register_program
+
+    path = _write(tmp_path, "tiny.spam", TINY)
+    first = register_program(path)
+    second = register_program(path)
+    assert first.abbrev == second.abbrev
+    assert first is second
+    assert first.abbrev.startswith("PROG:tiny:")
+
+
+def test_program_abbrevs_stay_out_of_table3(tmp_path):
+    from repro.workloads.suite import register_program
+
+    path = _write(tmp_path, "tiny.spam", TINY)
+    bench = register_program(path)
+    assert bench.abbrev in BENCHMARKS
+    assert bench.abbrev not in ALL_ABBREVS
+    assert len(ALL_ABBREVS) == 11
+
+
+def test_editing_source_changes_abbrev_and_cache_identity(tmp_path):
+    """The content hash in the abbreviation is the cache-invalidation
+    mechanism: an edited program must never replay stale cached runs."""
+    from repro.harness.runner import dynaspam_spec
+    from repro.workloads.suite import register_program
+
+    path = _write(tmp_path, "tiny.spam", TINY)
+    before = register_program(path)
+    with open(path, "a") as fh:
+        fh.write("# a comment changes the hash too\n")
+    after = register_program(path)
+    assert before.abbrev != after.abbrev
+    assert dynaspam_spec(before.abbrev).key != dynaspam_spec(after.abbrev).key
+
+
+def test_passes_change_abbrev(tmp_path):
+    from repro.workloads.suite import register_program
+
+    path = _write(tmp_path, "tiny.spam", TINY)
+    plain = register_program(path)
+    optimized = register_program(path, ("lvn", "dce"))
+    assert plain.abbrev != optimized.abbrev
+
+
+def test_registered_program_traces_like_a_kernel(tmp_path):
+    from repro.workloads.suite import register_program
+
+    path = _write(tmp_path, "tiny.spam", TINY)
+    bench = register_program(path)
+    result = generate_trace(bench.abbrev)
+    assert result.dynamic_count > 0
+    clear_trace_cache()
+
+
+def test_discover_programs_sorted(tmp_path):
+    from repro.workloads.suite import discover_programs
+
+    _write(tmp_path, "b.spam", TINY)
+    _write(tmp_path, "a.spam", TINY)
+    names = [b.name for b in discover_programs(str(tmp_path))]
+    assert names == ["a", "b"]
+
+
+def test_discover_programs_empty_dir_raises(tmp_path):
+    from repro.workloads.suite import discover_programs
+
+    with pytest.raises(FileNotFoundError):
+        discover_programs(str(tmp_path))
