@@ -110,6 +110,33 @@ def program_rows(report: dict) -> dict:
     }
 
 
+def decision_summary(report: dict) -> dict | None:
+    """Suite-wide trace-fate totals (``repro bench --decisions``).
+
+    Sums the per-benchmark fate counts and carries a single conservation
+    verdict, so the ledger records *why* coverage moved — more unmappable
+    traces, more squash-dominated ones — alongside the speedup it moved to.
+    """
+    blocks = report.get("decisions") or {}
+    if not blocks:
+        return None
+    totals: dict[str, int] = {}
+    unmappable: dict[str, int] = {}
+    conserved = True
+    for block in blocks.values():
+        fates = block.get("trace_fates") or {}
+        for fate, count in (fates.get("counts") or {}).items():
+            totals[fate] = totals.get(fate, 0) + count
+        for reason, count in (fates.get("unmappable_reasons") or {}).items():
+            unmappable[reason] = unmappable.get(reason, 0) + count
+        conserved = conserved and bool(fates.get("conserved", True))
+    return {
+        "fate_totals": totals,
+        "unmappable_reasons": unmappable,
+        "conserved": conserved,
+    }
+
+
 def history_record(report: dict) -> dict:
     if report.get("experiment") == "perfbench":
         return perfbench_record(report)
@@ -128,6 +155,9 @@ def history_record(report: dict) -> dict:
     programs = program_rows(report)
     if programs:
         record["programs"] = programs
+    decisions = decision_summary(report)
+    if decisions:
+        record["decisions"] = decisions
     return record
 
 

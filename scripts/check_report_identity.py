@@ -25,12 +25,19 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine import ENGINE_TIER_COUNTERS  # noqa: E402
 
+#: The decisions block's engine-tier tallies carry two extra names beyond
+#: the ``PipelineStats`` counters: memo bail-out and unsupported-fallback
+#: decisions, which by design differ across engine tiers.
+SCRUBBED = frozenset(ENGINE_TIER_COUNTERS) | {
+    "memo_bailouts", "memo_unsupported",
+}
+
 
 def scrub(node):
     """Zero engine-tier counters anywhere in the report tree."""
     if isinstance(node, dict):
         return {
-            key: 0 if key in ENGINE_TIER_COUNTERS else scrub(value)
+            key: 0 if key in SCRUBBED else scrub(value)
             for key, value in node.items()
         }
     if isinstance(node, list):

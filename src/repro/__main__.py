@@ -11,6 +11,10 @@ Usage::
                            [--trace-out km.trace.json]
     python -m repro explain KM [--scale 0.5] [--top 10]
                                [--trace-id 0x1a4:TNT:32]
+    python -m repro why KM [--scale 0.5] [--mode accelerate] [--json]
+    python -m repro study --programs corpus [--passes none]
+                          [--passes lvn,dce] [--only bfs_frontier,dot]
+                          [--json] [--output STUDY.json]
     python -m repro analyze KM [--scale 0.5] [--baseline host]
     python -m repro diff A.json B.json [--json] [--force]
     python -m repro bench [--scale 1.0] [--jobs 4] [--no-cache] [--cold]
@@ -35,6 +39,13 @@ or chrome://tracing); the simulated numbers are bit-identical either way.
 ``explain`` replays the same event stream into per-trace lifetime
 reports: when each trace was detected, went hot, got mapped, turned
 ready, and how often it offloaded or squashed.
+``why`` folds the event stream into decision records — every trace
+candidate's terminal fate (offloaded, unmappable, never hot, ...) plus
+a lost-cycles attribution joining the fates against the cycle-accounting
+buckets; nonzero exit if fate conservation is violated.
+``study`` runs every ``.spam`` corpus program under each ``--passes``
+pipeline (default: none, lvn+dce, licm) with decision records on and
+reports the detection/mapping/squash deltas side by side.
 ``analyze`` prints the top-down cycle-accounting breakdown — every
 simulated cycle charged to exactly one bucket — side by side for the
 host, mapping-only, and accelerated runs, with a conservation check
@@ -220,6 +231,7 @@ def cmd_run(args) -> int:
                 trace_length=args.trace_length,
                 num_fabrics=args.fabrics,
                 sink=sink,
+                decisions=args.decisions,
             )
         except (LangError, ValueError, OSError) as exc:
             return _fail(str(exc))
@@ -241,6 +253,7 @@ def cmd_run(args) -> int:
             trace_length=args.trace_length,
             num_fabrics=args.fabrics,
             sink=sink,
+            decisions=args.decisions,
         )
     if sink is not None:
         from repro.obs import write_chrome_trace
@@ -269,6 +282,12 @@ def cmd_run(args) -> int:
           f"{report['fabric_invocations']} invocations, "
           f"lifetime {report['mean_configuration_lifetime']:.0f}")
     print(f"  energy    {report['energy_reduction']:.1%} reduction")
+    if args.decisions:
+        fates = report["decisions"]["trace_fates"]["counts"]
+        summary = " | ".join(
+            f"{fate} {count}" for fate, count in fates.items() if count
+        )
+        print(f"  fates     {summary or 'no trace candidates'}")
     return 0
 
 
@@ -310,6 +329,88 @@ def cmd_explain(args) -> int:
     print(f"{benchmark} @ scale {args.scale}")
     print(render_lifetime_report(report, top=args.top))
     return 0
+
+
+def cmd_why(args) -> int:
+    """Trace-fate attribution: why did each candidate (not) accelerate?"""
+    from repro.harness.runner import simulation_report
+    from repro.obs.decisions import render_why
+
+    benchmark = _validate_run_args(args)
+    if benchmark is None:
+        return 2
+    report = simulation_report(
+        benchmark,
+        args.scale,
+        mode=args.mode,
+        speculation=not args.no_speculation,
+        trace_length=args.trace_length,
+        num_fabrics=args.fabrics,
+        decisions=True,
+    )
+    decisions = report["decisions"]
+    if args.json:
+        print(json.dumps({
+            "schema_version": report["schema_version"],
+            "code_fingerprint": report["code_fingerprint"],
+            "benchmark": benchmark,
+            "scale": args.scale,
+            "mode": args.mode,
+            "speculation": not args.no_speculation,
+            "speedup": report["speedup"],
+            "decisions": decisions,
+        }, indent=2))
+    else:
+        print(render_why(
+            benchmark,
+            decisions,
+            decisions["attribution"],
+            report["cycle_accounting"]["dynaspam"],
+        ))
+    if not decisions["trace_fates"]["conserved"]:
+        print("repro: error: trace fates are not conserved "
+              "(some identity has no or multiple terminal records)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_study(args) -> int:
+    """Corpus x pass-pipeline sweep with decision records per cell."""
+    from repro.harness.study import (
+        DEFAULT_PIPELINES,
+        parse_pipeline,
+        render_study,
+        study_programs,
+    )
+    from repro.lang import LangError
+
+    pipelines = DEFAULT_PIPELINES
+    if args.passes:
+        try:
+            pipelines = tuple(parse_pipeline(spec) for spec in args.passes)
+        except (LangError, ValueError) as exc:
+            return _fail(str(exc))
+    only = None
+    if args.only:
+        only = tuple(
+            stem.strip() for stem in args.only.split(",") if stem.strip()
+        )
+    try:
+        study = study_programs(args.programs, pipelines, only=only)
+    except (LangError, ValueError, OSError) as exc:
+        return _fail(str(exc))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(study, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(study, indent=2))
+    else:
+        print(render_study(study))
+        if args.output:
+            print(f"report -> {args.output}")
+    return 0 if study["conserved"] else 1
 
 
 def cmd_analyze(args) -> int:
@@ -415,6 +516,19 @@ def cmd_bench(args) -> int:
     # simulation) and must not leak its cache hits into the timing report.
     accounting, fabric_utilization = figure8_accounting(args.scale)
     warnings = speedup_warnings(result)
+    decisions = None
+    if args.decisions:
+        # Like the accounting pass, decisions run strictly after the
+        # timing sweep and its counters are frozen: each benchmark gets
+        # one traced re-simulation folded into a DecisionSink, so the
+        # timed numbers (and "tracing": False) are untouched.
+        from repro.harness.runner import simulation_report
+        from repro.workloads import ALL_ABBREVS
+
+        decisions = {}
+        for abbrev in ALL_ABBREVS:
+            traced = simulation_report(abbrev, args.scale, decisions=True)
+            decisions[abbrev] = traced["decisions"]
     programs = None
     if args.programs:
         # Ingested-program rows run serially in-process: the corpus is
@@ -481,6 +595,8 @@ def cmd_bench(args) -> int:
     }
     if programs is not None:
         report["programs"] = programs
+    if decisions is not None:
+        report["decisions"] = decisions
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -682,6 +798,10 @@ def main(argv=None) -> int:
         "--trace-out", metavar="PATH", default=None,
         help="record lifecycle events and export Chrome trace-event "
              "JSON (Perfetto-loadable) to PATH")
+    run_parser.add_argument(
+        "--decisions", action="store_true",
+        help="fold the event stream into decision records (adds a "
+             "'decisions' block to --json and a fate summary line)")
 
     explain_parser = sub.add_parser(
         "explain", help="per-trace lifetime report for one benchmark")
@@ -693,6 +813,31 @@ def main(argv=None) -> int:
         "--trace-id", default=None, metavar="ID",
         help="full event timeline for one trace (id as printed in the "
              "table, e.g. 0x1a4:TNT:32)")
+
+    why_parser = sub.add_parser(
+        "why",
+        help="trace-fate attribution: why candidates did (not) accelerate")
+    _add_run_knobs(why_parser)
+    why_parser.add_argument("--json", action="store_true")
+
+    study_parser = sub.add_parser(
+        "study",
+        help="pass-impact study over a .spam corpus (decision records "
+             "per program x pipeline)")
+    study_parser.add_argument(
+        "--programs", metavar="DIR", required=True,
+        help="directory of .spam programs to study")
+    study_parser.add_argument(
+        "--passes", action="append", default=None, metavar="lvn,dce",
+        help="one pass pipeline per flag ('none' = unoptimized; "
+             "default: none, lvn+dce, licm)")
+    study_parser.add_argument(
+        "--only", default=None, metavar="bfs_frontier,dot",
+        help="comma-separated program stems to include")
+    study_parser.add_argument("--json", action="store_true")
+    study_parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the study report JSON to PATH")
 
     analyze_parser = sub.add_parser(
         "analyze",
@@ -730,6 +875,11 @@ def main(argv=None) -> int:
         "--dashboard", metavar="DIR", default=None,
         help="also render the report as a self-contained HTML dashboard "
              "(DIR/index.html)")
+    bench_parser.add_argument(
+        "--decisions", action="store_true",
+        help="after the timed sweep, fold per-benchmark decision records "
+             "into the report (one traced re-simulation per kernel; the "
+             "timed numbers stay untraced)")
     add_cache_arguments(bench_parser)
 
     perfbench_parser = sub.add_parser(
@@ -798,6 +948,10 @@ def main(argv=None) -> int:
         return cmd_run(args)
     if args.command == "explain":
         return cmd_explain(args)
+    if args.command == "why":
+        return cmd_why(args)
+    if args.command == "study":
+        return cmd_study(args)
     if args.command == "analyze":
         return cmd_analyze(args)
     if args.command == "diff":

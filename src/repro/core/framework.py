@@ -350,6 +350,9 @@ class DynaSpAM:
                         seq=seq,
                         key=predicted,
                         cause="branch",
+                        branch_pc=self._divergent_branch_pc(
+                            segment, predicted
+                        ),
                     )
                 return None
             self._note_occurrence_probe(entry.configuration, segment)
@@ -359,6 +362,8 @@ class DynaSpAM:
             reconfig_hysteresis=self.config.reconfig_hysteresis,
         )
         if acquired is None:
+            if self.bus is not None:
+                self.bus.emit("offload.defer", key=predicted)
             return None  # every fabric is protected: run on the host
         fabric, ready = acquired
         self.pipeline.note_phase("offload")
@@ -376,6 +381,21 @@ class DynaSpAM:
         return len(segment)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _divergent_branch_pc(segment, predicted) -> int | None:
+        """PC of the first embedded branch whose outcome diverged from the
+        predicted key's outcome tuple (None for a length-only mismatch).
+        Only called under a bus guard — never on the untraced path."""
+        outcomes = predicted[1]
+        index = 0
+        for dyn in segment:
+            if not dyn.is_branch:
+                continue
+            if index >= len(outcomes) or bool(dyn.taken) != outcomes[index]:
+                return dyn.pc
+            index += 1
+        return None
+
     @staticmethod
     def _note_occurrence_probe(configuration, segment) -> None:
         """Record a key-matched occurrence's branch layout so later
@@ -422,6 +442,10 @@ class DynaSpAM:
         segment = self._actual_segment(trace, i)
         actual_key = self._segment_key(segment)
         if actual_key != predicted:
+            if self.bus is not None:
+                self.bus.emit(
+                    "map.abort", key=predicted, actual=actual_key
+                )
             return None  # a mispredicted branch aborts the mapping process
         stats = self.pipeline.stats
         self.pipeline.note_phase("mapping")

@@ -109,8 +109,32 @@ def analyze_trace(insts: list[DynamicInstruction]):
     return ops, tuple(live_ins), dict(last_def), branch_outcomes
 
 
+#: Closed vocabulary of mapping-failure reasons.  ``map.fail`` events and
+#: decision records aggregate on these codes (bounded label cardinality);
+#: the human-readable message travels separately as ``detail``.
+MAP_FAIL_REASONS: dict[str, str] = {
+    "too_many_live_ins": "trace needs more live-in FIFOs than the fabric has",
+    "too_many_live_outs": "trace defines more live-outs than the fabric "
+                          "can drain",
+    "out_of_stripes": "the scheduling frontier ran past the last stripe",
+    "deadlock": "no unplaced instruction was ready on any stripe",
+    "no_feasible_pe": "an instruction fit no PE in the current stripe",
+}
+
+
 class MappingFailure(Exception):
-    """Raised internally when a trace cannot be mapped."""
+    """Raised internally when a trace cannot be mapped.
+
+    ``reason`` must come from :data:`MAP_FAIL_REASONS`; ``detail`` is the
+    free-form human message (what ``str(exc)`` returns).
+    """
+
+    def __init__(self, reason: str, detail: str | None = None) -> None:
+        if reason not in MAP_FAIL_REASONS:
+            raise ValueError(f"unregistered mapping-failure reason {reason!r}")
+        super().__init__(detail if detail is not None else reason)
+        self.reason = reason
+        self.detail = detail if detail is not None else reason
 
 
 class ResourceAwareMapper:
@@ -150,7 +174,12 @@ class ResourceAwareMapper:
         except MappingFailure as exc:
             self.failures += 1
             if self.bus is not None:
-                self.bus.emit("map.fail", key=trace_key, reason=str(exc))
+                self.bus.emit(
+                    "map.fail",
+                    key=trace_key,
+                    reason=exc.reason,
+                    detail=str(exc),
+                )
             return None
         if self.bus is not None:
             self.bus.emit(
@@ -169,9 +198,15 @@ class ResourceAwareMapper:
         ops, live_ins, last_def, branch_outcomes = analyze_trace(insts)
 
         if len(live_ins) > fcfg.livein_fifos:
-            raise MappingFailure("too many live-ins")
+            raise MappingFailure(
+                "too_many_live_ins",
+                f"{len(live_ins)} live-ins > {fcfg.livein_fifos} FIFOs",
+            )
         if len(last_def) > fcfg.liveout_fifos:
-            raise MappingFailure("too many live-outs")
+            raise MappingFailure(
+                "too_many_live_outs",
+                f"{len(last_def)} live-outs > {fcfg.liveout_fifos} FIFOs",
+            )
 
         from repro.fabric.stripe import build_stripes
 
@@ -192,14 +227,20 @@ class ResourceAwareMapper:
         frontier = 0
         while unplaced:
             if frontier >= fcfg.num_stripes:
-                raise MappingFailure("ran out of stripes")
+                raise MappingFailure(
+                    "out_of_stripes",
+                    f"frontier passed stripe {fcfg.num_stripes - 1} with "
+                    f"{len(unplaced)} ops unplaced",
+                )
             selected = self._fill_stripe(
                 stripes[frontier], frontier, unplaced, placed, tables
             )
             if selected:
                 mapping_cycles += self._step_cycles(selected)
             elif not self._any_ready(unplaced, placed):
-                raise MappingFailure("deadlock: no instruction is ready")
+                raise MappingFailure(
+                    "deadlock", "deadlock: no instruction is ready"
+                )
             # Advance the frontier: propagate still-live values forward.
             live_tokens = self._live_tokens(
                 placed, unplaced, consumers, last_def

@@ -44,7 +44,12 @@ class NaiveMapper:
         except MappingFailure as exc:
             self.failures += 1
             if self.bus is not None:
-                self.bus.emit("map.fail", key=trace_key, reason=str(exc))
+                self.bus.emit(
+                    "map.fail",
+                    key=trace_key,
+                    reason=exc.reason,
+                    detail=str(exc),
+                )
             return None
         if self.bus is not None:
             self.bus.emit(
@@ -61,9 +66,15 @@ class NaiveMapper:
         fcfg = self.fabric_config
         ops, live_ins, last_def, branch_outcomes = analyze_trace(insts)
         if len(live_ins) > fcfg.livein_fifos:
-            raise MappingFailure("too many live-ins")
+            raise MappingFailure(
+                "too_many_live_ins",
+                f"{len(live_ins)} live-ins > {fcfg.livein_fifos} FIFOs",
+            )
         if len(last_def) > fcfg.liveout_fifos:
-            raise MappingFailure("too many live-outs")
+            raise MappingFailure(
+                "too_many_live_outs",
+                f"{len(last_def)} live-outs > {fcfg.liveout_fifos} FIFOs",
+            )
 
         stripes = build_stripes(fcfg)
         tables = MappingTables(
@@ -148,7 +159,9 @@ class NaiveMapper:
                 if placed_ok:
                     break
             if not placed_ok:
-                raise MappingFailure(f"no feasible PE for op {op.pos}")
+                raise MappingFailure(
+                    "no_feasible_pe", f"no feasible PE for op {op.pos}"
+                )
 
         live_outs = {reg: pos for reg, pos in last_def.items() if pos in placed}
         mem_pcs, mem_kinds = [], []

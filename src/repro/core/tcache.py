@@ -17,6 +17,15 @@ from dataclasses import dataclass, field
 from repro.isa.instructions import DynamicInstruction
 from repro.isa.opcodes import Opcode
 
+#: Closed vocabulary of window-close reasons.  ``tcache.window`` decision
+#: records aggregate on these codes.
+WINDOW_CLOSE_REASONS: dict[str, str] = {
+    "branch_limit": "the window reached its conditional-branch budget",
+    "smart_close": "static lookahead closed at a branch because the next "
+                   "block could not fit under the length cap",
+    "length_cap": "the window hit the trace-length cap",
+}
+
 
 @dataclass
 class TraceWindow:
@@ -28,6 +37,9 @@ class TraceWindow:
     #: Conditional branches appended so far (tracked incrementally: the
     #: builder probes this on every committed instruction).
     branches: int = 0
+    #: Why the builder closed this window — a :data:`WINDOW_CLOSE_REASONS`
+    #: key, set at close time (None while the window is still open).
+    close_reason: str | None = None
 
     @property
     def outcomes(self) -> tuple[bool, ...]:
@@ -114,13 +126,16 @@ class TraceWindowBuilder:
             window.branches += 1
         if window.branches >= self.max_branches:
             self._window = None
+            window.close_reason = "branch_limit"
             return window
         if dyn.is_branch and self._should_close_at_branch(window, dyn.next_pc):
             self._window = None
+            window.close_reason = "smart_close"
             return window
         if window.length >= self.max_length:
             self._window = None
             self._awaiting_branch = not dyn.is_branch
+            window.close_reason = "length_cap"
             return window
         return None
 
@@ -183,7 +198,17 @@ class TCache:
             if bus is not None:
                 bus.emit("tcache.hot", key=key, count=count)
         self._tick()
-        return key in self._hot
+        hot = key in self._hot
+        if bus is not None:
+            # The per-candidate terminal decision record: every window fed
+            # into the T-Cache produces exactly one of these.
+            bus.emit(
+                "tcache.window",
+                key=key,
+                reason=window.close_reason,
+                hot=hot,
+            )
+        return hot
 
     def is_hot(self, key: tuple) -> bool:
         return key in self._hot

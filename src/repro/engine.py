@@ -78,6 +78,8 @@ ENGINE_TIER_COUNTERS = frozenset({
 ENGINE_TIER_EVENTS = frozenset({
     "fabric.memo_hit",
     "fabric.memo_miss",
+    "fabric.memo_bailout",
+    "fabric.memo_unsupported",
     "offload.batch",
 })
 

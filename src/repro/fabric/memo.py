@@ -239,6 +239,12 @@ def execute_memoized(fabric, configuration, ctx):
         # the engine walk reproduce the error behavior (the D-cache state
         # the partial probe moved matches the walk's own partial progress).
         configuration._memo_unsupported = True
+        if fabric.bus is not None:
+            fabric.bus.emit(
+                "fabric.memo_unsupported",
+                fabric=fabric.fabric_id,
+                key=getattr(configuration, "trace_key", None),
+            )
         return fabric._execute_engine(configuration, ctx)
 
     memo = getattr(configuration, "_invocation_memo", None)
@@ -260,6 +266,13 @@ def execute_memoized(fabric, configuration, ctx):
             # same way under every engine-tier combination.
             configuration._memo_cold = True
             configuration._invocation_memo = {}
+            if fabric.bus is not None:
+                fabric.bus.emit(
+                    "fabric.memo_bailout",
+                    fabric=fabric.fabric_id,
+                    key=configuration.trace_key,
+                    window_hits=configuration._memo_window_hits,
+                )
     if entry is not None:
         if stats is not None:
             stats.invocation_memo_hits += 1

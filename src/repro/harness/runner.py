@@ -259,6 +259,7 @@ def simulation_report(
     num_fabrics: int = 1,
     mapper: str = "resource_aware",
     sink=None,
+    decisions: bool = False,
 ) -> dict:
     """Baseline-vs-DynaSpAM comparison for one benchmark, as a JSON dict.
 
@@ -268,9 +269,27 @@ def simulation_report(
     equal but the very same cached simulation.  Passing ``sink`` records
     the DynaSpAM run's lifecycle event stream without changing a single
     reported number.
+
+    ``decisions=True`` folds the event stream through a
+    ``repro.obs.decisions.DecisionSink`` and attaches a ``decisions``
+    block (trace fates, invocation outcomes, lost-cycles attribution).
+    It is an explicit opt-in — merely passing ``sink`` never changes the
+    report, so traced and untraced reports stay byte-identical.
     """
     from repro.energy import EnergyModel
     from repro.obs.accounting import bucket_breakdown
+
+    decision_sink = None
+    if decisions:
+        from repro.obs.decisions import (
+            DecisionSink, attribute_lost_cycles,
+        )
+        from repro.obs.events import TeeSink
+
+        decision_sink = DecisionSink()
+        sink = (
+            decision_sink if sink is None else TeeSink(sink, decision_sink)
+        )
 
     run = generate_trace(abbrev, scale)
     baseline = run_baseline(abbrev, scale)
@@ -282,7 +301,7 @@ def simulation_report(
     model = EnergyModel()
     base_energy = model.breakdown(baseline.stats)
     dyna_energy = model.breakdown(result.stats)
-    return {
+    report = {
         **report_provenance(),
         "benchmark": abbrev,
         "scale": scale,
@@ -315,6 +334,15 @@ def simulation_report(
         "stats": result.stats.as_dict(),
         "baseline_stats": baseline.stats.as_dict(),
     }
+    if decision_sink is not None:
+        stats_dict = result.stats.as_dict()
+        breakdown = bucket_breakdown(stats_dict)
+        block = decision_sink.as_dict()
+        block["attribution"] = attribute_lost_cycles(
+            block, stats_dict, breakdown
+        )
+        report["decisions"] = block
+    return report
 
 
 def program_simulation_report(

@@ -26,6 +26,13 @@ from repro.obs.lifetime import (
     render_trace_detail,
 )
 from repro.obs.chrometrace import build_chrome_trace, write_chrome_trace
+from repro.obs.decisions import (
+    TRACE_FATES,
+    DecisionSink,
+    attribute_lost_cycles,
+    decisions_from_events,
+    render_why,
+)
 from repro.obs.accounting import (
     BUCKET_FIELDS,
     BUCKETS,
@@ -61,6 +68,11 @@ __all__ = [
     "render_trace_detail",
     "build_chrome_trace",
     "write_chrome_trace",
+    "TRACE_FATES",
+    "DecisionSink",
+    "attribute_lost_cycles",
+    "decisions_from_events",
+    "render_why",
     "BUCKET_FIELDS",
     "BUCKETS",
     "bucket_breakdown",

@@ -51,6 +51,8 @@ _INSTANT_TYPES = {
     "ccache.ready",
     "ccache.evict",
     "fabric.reconfig",
+    "map.abort",
+    "offload.defer",
 }
 
 

@@ -41,6 +41,8 @@ from typing import Any, Callable, Protocol, runtime_checkable
 #: documented where the "no dead events" test can enforce coverage.
 EVENT_TYPES: dict[str, str] = {
     # T-Cache (repro.core.tcache)
+    "tcache.window": "a trace-window candidate closed (terminal decision "
+                     "record: close reason + hotness outcome)",
     "tcache.detect": "a new trace identity entered the T-Cache",
     "tcache.hot": "a trace identity crossed the hot threshold",
     "tcache.clear": "periodic T-Cache clear demoted all hot traces",
@@ -48,7 +50,10 @@ EVENT_TYPES: dict[str, str] = {
     "map.start": "a mapping phase began for a hot trace",
     "map.place": "one instruction was placed onto a PE",
     "map.stripe": "the scheduling frontier advanced one stripe",
-    "map.fail": "the trace could not be mapped (reason attached)",
+    "map.fail": "the trace could not be mapped (closed-enum reason + "
+                "human detail attached)",
+    "map.abort": "a mapping phase was abandoned before the drain: the "
+                 "actual path diverged from the predicted hot key",
     "map.done": "a configuration was built",
     # Configuration cache (repro.core.config_cache)
     "ccache.hit": "a fetch-stage probe hit a cached entry",
@@ -61,10 +66,16 @@ EVENT_TYPES: dict[str, str] = {
     # comparisons — see repro.engine.ENGINE_TIER_EVENTS)
     "fabric.memo_hit": "an invocation replayed a memoized timeline",
     "fabric.memo_miss": "an invocation timing walk populated the memo",
+    "fabric.memo_bailout": "a configuration's probe window fell below the "
+                           "hit floor; memoization permanently disabled",
+    "fabric.memo_unsupported": "an invocation context could not be keyed; "
+                               "fell back to the engine walk",
     # Offload (repro.core.offload + framework squash detection)
     "offload.dispatch": "a fat atomic invocation was dispatched",
     "offload.commit": "a fat atomic invocation committed",
     "offload.squash": "an invocation squashed (cause=branch|memory)",
+    "offload.defer": "a ready trace could not acquire a fabric "
+                     "(reconfiguration hysteresis); host path continued",
     "offload.batch": "consecutive same-key invocations batched into one "
                      "super-step (memo tier)",
     # Host pipeline (repro.ooo.pipeline)

@@ -23,11 +23,13 @@ Exposed families::
     repro_fabric_utilization{stat=...}    gauge (invocation-weighted)
     repro_engine_memo_total{result=...}   counter (invocation memo tier)
     repro_engine_batched_invocations_total  counter (super-step batching)
+    repro_trace_fate_total{fate=,reason=} counter (terminal trace fates)
 """
 
 from __future__ import annotations
 
 from repro.obs.accounting import BUCKETS
+from repro.obs.decisions import TRACE_FATES
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -169,6 +171,21 @@ def render_prometheus(snapshot: dict) -> str:
              "each batch's anchor invocation.")
     w.sample("repro_engine_batched_invocations_total",
              memo.get("batched_invocations", 0))
+
+    fates = snapshot.get("trace_fates", {})
+    w.family("repro_trace_fate_total", "counter",
+             "Terminal trace fates across completed jobs that ran with "
+             "decision records; reason is set only for unmappable traces "
+             "(mapper failure enum).")
+    seen_fates = set()
+    for key in sorted(fates):
+        fate, _, reason = key.partition("|")
+        w.sample("repro_trace_fate_total", fates[key],
+                 {"fate": fate, "reason": reason})
+        seen_fates.add(fate)
+    for fate in TRACE_FATES:
+        if fate not in seen_fates:
+            w.sample("repro_trace_fate_total", 0, {"fate": fate, "reason": ""})
 
     fabric = snapshot.get("fabric_utilization", {})
     w.family("repro_fabric_utilization", "gauge",

@@ -32,7 +32,7 @@ MAX_FABRICS = 8
 
 _REQUEST_FIELDS = (
     "benchmark", "scale", "mode", "speculation", "trace_length",
-    "fabrics", "mapper",
+    "fabrics", "mapper", "decisions",
 )
 
 
@@ -84,6 +84,10 @@ class JobRequest:
     trace_length: int = 32
     fabrics: int = 1
     mapper: str = "resource_aware"
+    #: Attach the decision-record block (trace fates, lost-cycle
+    #: attribution) to the report.  Forces a traced execution, so it is
+    #: part of the flight identity.
+    decisions: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmark",
@@ -101,6 +105,10 @@ class JobRequest:
         if not isinstance(self.speculation, bool):
             raise InvalidJob(
                 f"invalid speculation {self.speculation!r}: must be a boolean"
+            )
+        if not isinstance(self.decisions, bool):
+            raise InvalidJob(
+                f"invalid decisions {self.decisions!r}: must be a boolean"
             )
         _validate_int("trace_length", self.trace_length,
                       MIN_TRACE_LENGTH, MAX_TRACE_LENGTH)
@@ -146,8 +154,14 @@ class JobRequest:
 
     @property
     def flight_key(self) -> tuple:
-        """Cache-layer identity: equal keys may share one execution."""
-        return tuple(spec.key for spec in self.specs())
+        """Cache-layer identity: equal keys may share one execution.
+
+        ``decisions`` is appended because a decisions run carries an extra
+        report block — it must not coalesce with (or serve) a plain run.
+        """
+        return tuple(spec.key for spec in self.specs()) + (
+            ("decisions", self.decisions),
+        )
 
     def execute(self) -> dict:
         """Run (or cache-resolve) the simulation and build the report."""
@@ -161,6 +175,7 @@ class JobRequest:
             trace_length=self.trace_length,
             num_fabrics=self.fabrics,
             mapper=self.mapper,
+            decisions=self.decisions,
         )
 
 

@@ -158,6 +158,19 @@ class ServiceMetrics:
                   int(stats.get("invocation_memo_misses", 0) or 0))
         self.bump("engine.batched_invocations",
                   int(stats.get("batched_invocations", 0) or 0))
+        # Terminal trace-fate totals (jobs submitted with decision records
+        # enabled) — the counters behind ``repro_trace_fate_total``.  The
+        # reason label is only populated for unmappable traces, where the
+        # mapper's closed failure enum gives the breakdown.
+        decisions = report.get("decisions") or {}
+        fates = decisions.get("trace_fates") or {}
+        unmappable_reasons = fates.get("unmappable_reasons") or {}
+        for fate, count in (fates.get("counts") or {}).items():
+            if fate == "unmappable" and unmappable_reasons:
+                for reason, n in unmappable_reasons.items():
+                    self.bump(f"fate.{fate}|{reason}", int(n or 0))
+            else:
+                self.bump(f"fate.{fate}|", int(count or 0))
         # Cycle-accounting bucket totals for the accelerated run — the
         # counters behind ``repro_cycle_bucket_cycles_total``.
         accounting = report.get("cycle_accounting") or {}
@@ -222,6 +235,11 @@ class ServiceMetrics:
                 name[len("bucket."):]: value
                 for name, value in counters.items()
                 if name.startswith("bucket.")
+            },
+            "trace_fates": {
+                name[len("fate."):]: value
+                for name, value in counters.items()
+                if name.startswith("fate.")
             },
             "engine_memo": {
                 "hits": counters.get("engine.memo_hits", 0),

@@ -144,3 +144,32 @@ def test_report_without_accounting_leaves_gauges_at_zero():
     assert snapshot["fabric_utilization"]["placed_pe_ratio"] == 0.0
     text = render_prometheus(snapshot)
     assert 'repro_fabric_utilization{stat="placed_pe_ratio"} 0.0' in text
+
+
+def test_observe_report_feeds_trace_fate_family():
+    metrics = ServiceMetrics()
+    metrics.observe_report({
+        "decisions": {
+            "trace_fates": {
+                "identities": 4,
+                "counts": {"offloaded": 2, "unmappable": 2},
+                "unmappable_reasons": {"out_of_stripes": 1, "deadlock": 1},
+                "conserved": True,
+            },
+        },
+    })
+    text = render_prometheus(metrics.snapshot())
+    assert 'repro_trace_fate_total{fate="offloaded",reason=""} 2' in text
+    assert ('repro_trace_fate_total{fate="unmappable",'
+            'reason="out_of_stripes"} 1') in text
+    assert ('repro_trace_fate_total{fate="unmappable",'
+            'reason="deadlock"} 1') in text
+    # Fates nobody observed still expose a zero sample.
+    assert 'repro_trace_fate_total{fate="never_hot",reason=""} 0' in text
+
+
+def test_trace_fate_family_zero_filled_without_decisions():
+    text = render_prometheus(ServiceMetrics().snapshot())
+    from repro.obs.decisions import TRACE_FATES
+    for fate in TRACE_FATES:
+        assert f'repro_trace_fate_total{{fate="{fate}",reason=""}} 0' in text

@@ -66,6 +66,19 @@ def test_flight_key_is_cache_identity():
     assert a.flight_key == b.flight_key
     assert a.flight_key != c.flight_key
     assert a.flight_key != JobRequest("BFS", scale=0.5).flight_key
+    # A decisions run carries an extra report block; it must not share a
+    # flight with (or be served from) a plain run's execution.
+    assert a.flight_key != JobRequest("km", scale=0.5,
+                                      decisions=True).flight_key
+
+
+def test_decisions_field_is_validated_and_passed_through():
+    assert JobRequest("KM").decisions is False
+    request = JobRequest.from_payload({"benchmark": "KM", "decisions": True})
+    assert request.decisions is True
+    assert request.as_dict()["decisions"] is True
+    with pytest.raises(InvalidJob, match="decisions"):
+        JobRequest("KM", decisions="yes")
 
 
 # ---------------------------------------------------------------------------

@@ -401,3 +401,72 @@ def test_list_programs(tmp_path, capsys):
 def test_list_programs_empty_dir_is_exit_2(tmp_path, capsys):
     assert main(["list", "--programs", str(tmp_path)]) == 2
     assert "no .spam programs" in capsys.readouterr().err
+
+
+CORPUS_DIR = str(
+    __import__("pathlib").Path(__file__).resolve().parents[1] / "corpus"
+)
+
+
+def test_why_command_human_readable(capsys):
+    assert main(["why", "KM", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "trace fates" in out
+    assert "lost-cycles attribution" in out
+    assert "conservation:" in out and "PASS" in out
+
+
+def test_why_command_json(capsys):
+    assert main(["why", "KM", "--scale", "0.05", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["benchmark"] == "KM"
+    assert doc["decisions"]["trace_fates"]["conserved"] is True
+    assert doc["decisions"]["attribution"]["attributed_fraction"] >= 0.95
+
+
+def test_why_unknown_benchmark_is_usage_error(capsys):
+    assert main(["why", "NOPE"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+
+
+def test_run_decisions_flag_adds_block(capsys):
+    assert main(["run", "KM", "--scale", "0.05", "--decisions",
+                 "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["decisions"]["trace_fates"]["conserved"] is True
+    # Without the flag the block must stay absent (opt-in contract).
+    assert main(["run", "KM", "--scale", "0.05", "--json"]) == 0
+    assert "decisions" not in json.loads(capsys.readouterr().out)
+
+
+def test_study_command_renders_side_by_side(capsys):
+    assert main(["study", "--programs", CORPUS_DIR, "--only", "sum_loop",
+                 "--passes", "none", "--passes", "lvn,dce"]) == 0
+    out = capsys.readouterr().out
+    assert "sum_loop" in out
+    assert "lvn+dce" in out
+    assert "decision conservation across all rows: PASS" in out
+
+
+def test_study_command_writes_json_report(tmp_path, capsys):
+    out_path = tmp_path / "study.json"
+    assert main(["study", "--programs", CORPUS_DIR, "--only", "sum_loop",
+                 "--passes", "none", "--output", str(out_path)]) == 0
+    study = json.loads(out_path.read_text())
+    assert study["experiment"] == "study"
+    assert study["pipelines"] == ["none"]
+    assert study["conserved"] is True
+    row = study["programs"]["sum_loop"]["none"]
+    assert row["abbrev"].startswith("PROG:sum_loop:")
+    assert row["delta"]["speedup"] == 0
+
+
+def test_study_empty_dir_is_usage_error(tmp_path, capsys):
+    assert main(["study", "--programs", str(tmp_path)]) == 2
+    assert "no .spam programs" in capsys.readouterr().err
+
+
+def test_study_unknown_pass_is_usage_error(capsys):
+    assert main(["study", "--programs", CORPUS_DIR,
+                 "--passes", "nope"]) == 2
+    assert "nope" in capsys.readouterr().err
