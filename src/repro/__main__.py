@@ -18,9 +18,11 @@ Usage::
     python -m repro analyze KM [--scale 0.5] [--baseline host]
     python -m repro diff A.json B.json [--json] [--force]
     python -m repro bench [--scale 1.0] [--jobs 4] [--no-cache] [--cold]
+                          [--progress]
                           [--output BENCH_speedup.json] [--dashboard DIR]
     python -m repro serve [--port 8763] [--workers 2] [--queue-depth 64]
     python -m repro submit KM [--scale 0.5] [--wait] [--port 8763]
+    python -m repro watch JOB_ID [--port 8763] [--interval 0.2]
     python -m repro harness fig8 [--scale 1.0] [--jobs 4]  # = repro.harness
 
 ``ingest`` runs a ``.spam`` program through the ``repro.lang`` frontend
@@ -60,6 +62,15 @@ speedup/timing report so the performance trajectory is tracked PR over PR
 ``serve`` starts the simulation-as-a-service HTTP server and ``submit``
 sends it a job; ``submit --wait`` prints the same JSON ``run --json``
 does, resolved through the server's queue and caches.
+``watch`` follows a submitted job's live progress (the
+``/v1/jobs/{id}/progress`` endpoint) until it is terminal.
+
+Host-runtime telemetry (``repro.obs.runtime``) is wired here: setting
+``REPRO_LOG=runs.jsonl`` streams structured span/heartbeat records for
+any command, ``bench --progress`` / ``study --progress`` print live
+heartbeats, and ``run --trace-out`` adds a second wall-clock process to
+the exported Chrome trace.  With none of those enabled the telemetry
+path is never allocated and every report stays byte-identical.
 """
 
 from __future__ import annotations
@@ -142,20 +153,26 @@ def cmd_ingest(args) -> int:
         output_of,
         run_passes,
     )
+    from repro.obs.runtime import TRACER
     from repro.workloads.suite import register_program
 
     try:
         passes = _parse_passes(args.passes)
-        module = load_file(args.program)
-        before = interpret(module)
+        with TRACER.span("ingest.parse", program=args.program):
+            module = load_file(args.program)
+            before = interpret(module)
         if passes:
-            module = run_passes(module, list(passes))
-            check_module(module, allow_reserved=True)
+            with TRACER.span("ingest.passes", pipeline=",".join(passes)):
+                module = run_passes(module, list(passes))
+                check_module(module, allow_reserved=True)
         ref = interpret(module)
         if ref.output != before.output:
             return _fail(f"{args.program}: passes changed program output")
-        lowered = lower_module(module, name=pathlib.Path(args.program).stem)
-        result = execute_lowered(lowered)
+        with TRACER.span("ingest.lower", program=args.program):
+            lowered = lower_module(
+                module, name=pathlib.Path(args.program).stem
+            )
+            result = execute_lowered(lowered)
         got = output_of(result)
         if got != ref.output:
             return _fail(
@@ -257,13 +274,21 @@ def cmd_run(args) -> int:
         )
     if sink is not None:
         from repro.obs import write_chrome_trace
+        from repro.obs.runtime import TRACER
 
+        # main() force-enables the tracer for --trace-out, so the host
+        # wall-clock spans recorded so far become the pid-2 process next
+        # to the simulated-cycle tracks.
+        host_spans = TRACER.records()
         count = write_chrome_trace(
-            sink.events, args.trace_out, end_cycle=report["dynaspam_cycles"]
+            sink.events, args.trace_out,
+            end_cycle=report["dynaspam_cycles"],
+            host_spans=host_spans,
         )
         # Keep --json stdout pure (a JSON document and nothing else).
         print(f"trace: {count} events -> {args.trace_out} "
-              f"(load in https://ui.perfetto.dev)", file=sys.stderr)
+              f"({len(host_spans)} host wall-clock spans; "
+              f"load in https://ui.perfetto.dev)", file=sys.stderr)
     if args.json:
         print(json.dumps(report, indent=2))
         return 0
@@ -396,8 +421,19 @@ def cmd_study(args) -> int:
         only = tuple(
             stem.strip() for stem in args.only.split(",") if stem.strip()
         )
+    tracker = None
+    if args.progress:
+        from repro.obs import progress as obs_progress
+
+        # study_programs sets the real total (programs x pipelines) once
+        # it has globbed the corpus.
+        tracker = obs_progress.ProgressTracker(0, label="study")
+        tracker.add_listener(obs_progress.stderr_listener())
+        tracker.add_listener(obs_progress.log_listener())
     try:
-        study = study_programs(args.programs, pipelines, only=only)
+        study = study_programs(
+            args.programs, pipelines, only=only, tracker=tracker
+        )
     except (LangError, ValueError, OSError) as exc:
         return _fail(str(exc))
     if args.output:
@@ -500,9 +536,24 @@ def cmd_bench(args) -> int:
         diskcache.configure(enabled=False)
         clear_run_cache()
         clear_trace_cache()
+    tracker = None
+    if args.progress:
+        from repro.harness.experiments import figure8_specs
+        from repro.obs import progress as obs_progress
+
+        # execute_runs dedups by spec key, so the total counts unique runs.
+        total = len({spec.key for spec in figure8_specs(args.scale)})
+        tracker = obs_progress.ProgressTracker(total, label="bench")
+        tracker.add_listener(obs_progress.stderr_listener())
+        tracker.add_listener(obs_progress.log_listener())
+        obs_progress.activate(tracker)
     PROFILER.reset()
     started = time.perf_counter()
-    result = figure8_performance(args.scale, jobs=args.jobs)
+    try:
+        result = figure8_performance(args.scale, jobs=args.jobs)
+    finally:
+        if tracker is not None:
+            obs_progress.deactivate()
     wall_clock = time.perf_counter() - started
 
     cache_stats = diskcache.shared_stats()
@@ -741,6 +792,50 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    """Follow a submitted job's live progress until it is terminal."""
+    from repro.obs.progress import render_heartbeat
+    from repro.service.client import (
+        JobFailed,
+        ServiceClient,
+        ServiceUnreachable,
+    )
+    from repro.service.errors import UnknownJob
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+
+    def on_progress(doc) -> None:
+        state = doc.get("state", "?")
+        beat = doc.get("heartbeat") or {}
+        if beat.get("label"):
+            line = render_heartbeat(beat)
+        else:
+            line = beat.get("phase") or "waiting"
+        # Progress lines go to stderr; stdout stays a single JSON doc.
+        print(f"{state:>8}  {line}", file=sys.stderr, flush=True)
+
+    try:
+        final = client.watch(
+            args.job_id,
+            timeout=args.timeout,
+            poll_interval=args.interval,
+            on_progress=on_progress,
+        )
+    except UnknownJob as exc:
+        return _fail(str(exc))
+    except JobFailed as exc:
+        print(f"repro: job failed: {exc}", file=sys.stderr)
+        return 1
+    except ServiceUnreachable as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(final, indent=2))
+    return 0
+
+
 def _add_run_knobs(parser: argparse.ArgumentParser,
                    optional_benchmark: bool = False) -> None:
     if optional_benchmark:
@@ -838,6 +933,10 @@ def main(argv=None) -> int:
     study_parser.add_argument(
         "--output", metavar="PATH", default=None,
         help="also write the study report JSON to PATH")
+    study_parser.add_argument(
+        "--progress", action="store_true",
+        help="print a live heartbeat per study cell to stderr "
+             "(done/total, instr/s, ETA)")
 
     analyze_parser = sub.add_parser(
         "analyze",
@@ -880,6 +979,10 @@ def main(argv=None) -> int:
         help="after the timed sweep, fold per-benchmark decision records "
              "into the report (one traced re-simulation per kernel; the "
              "timed numbers stay untraced)")
+    bench_parser.add_argument(
+        "--progress", action="store_true",
+        help="print a live heartbeat per finished run to stderr "
+             "(done/total, instr/s, ETA)")
     add_cache_arguments(bench_parser)
 
     perfbench_parser = sub.add_parser(
@@ -933,6 +1036,17 @@ def main(argv=None) -> int:
     submit_parser.add_argument("--timeout", type=float, default=600.0,
                                help="submit/wait deadline in seconds")
 
+    watch_parser = sub.add_parser(
+        "watch",
+        help="stream live progress for a submitted job until terminal")
+    watch_parser.add_argument("job_id", metavar="JOB_ID")
+    watch_parser.add_argument("--host", default="127.0.0.1")
+    watch_parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    watch_parser.add_argument("--interval", type=float, default=0.2,
+                              help="poll interval in seconds")
+    watch_parser.add_argument("--timeout", type=float, default=600.0,
+                              help="give up after this many seconds")
+
     harness_parser = sub.add_parser("harness",
                                     help="regenerate evaluation artifacts")
     harness_parser.add_argument("experiment")
@@ -940,6 +1054,37 @@ def main(argv=None) -> int:
     add_cache_arguments(harness_parser)
 
     args = parser.parse_args(argv)
+    from repro.obs.runtime import (
+        TRACER,
+        init_runtime_telemetry,
+        shutdown_runtime_telemetry,
+    )
+
+    # --trace-out and --progress need spans/heartbeats even without a
+    # REPRO_LOG destination; everything else turns on by environment only.
+    forced = bool(getattr(args, "trace_out", None)
+                  or getattr(args, "progress", False))
+    run_id = init_runtime_telemetry(
+        args.command, force=forced,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+    )
+    try:
+        if run_id is None:
+            return _dispatch(args)
+        with TRACER.span(f"cli.{args.command}"):
+            return _dispatch(args)
+    finally:
+        if run_id is not None:
+            # One CLI invocation == one run: return the process-wide
+            # tracer to its disabled default so repeated in-process
+            # main() calls (tests) never accumulate spans across runs.
+            TRACER.disable()
+            TRACER.reset()
+            TRACER.run_id = None
+        shutdown_runtime_telemetry()
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         return cmd_list(args)
     if args.command == "ingest":
@@ -964,6 +1109,8 @@ def main(argv=None) -> int:
         return cmd_serve(args)
     if args.command == "submit":
         return cmd_submit(args)
+    if args.command == "watch":
+        return cmd_watch(args)
     from repro.harness.__main__ import main as harness_main
 
     forwarded = [args.experiment, "--scale", str(args.scale)]

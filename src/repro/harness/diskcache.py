@@ -24,6 +24,8 @@ import pickle
 import tempfile
 from pathlib import Path
 
+from repro.obs.runtime import TRACER
+
 #: Bump when the on-disk layout or pickled value schema changes shape.
 CACHE_FORMAT_VERSION = 1
 
@@ -94,6 +96,13 @@ class DiskCache:
 
     def get(self, key_obj):
         """Cached value for ``key_obj``, or ``None`` on miss/corruption."""
+        with TRACER.span("cache.get", namespace=self.namespace) as span:
+            value = self._get(key_obj)
+            if span is not None:
+                span.attrs["outcome"] = "miss" if value is None else "hit"
+            return value
+
+    def _get(self, key_obj):
         path = self.path_for(key_obj)
         try:
             with open(path, "rb") as fh:
@@ -115,6 +124,10 @@ class DiskCache:
 
     def put(self, key_obj, value) -> bool:
         """Atomically store ``value``; returns False on any I/O failure."""
+        with TRACER.span("cache.put", namespace=self.namespace):
+            return self._put(key_obj, value)
+
+    def _put(self, key_obj, value) -> bool:
         path = self.path_for(key_obj)
         tmp_name = None
         try:
@@ -193,7 +206,7 @@ def merge_stats(stats: dict[str, dict[str, int]]) -> None:
     for namespace, counters in stats.items():
         cache = shared_cache(namespace)
         if cache is None:
-            return
+            continue
         cache.hits += counters.get("hits", 0)
         cache.misses += counters.get("misses", 0)
         cache.errors += counters.get("errors", 0)

@@ -26,6 +26,8 @@ from repro.harness.runner import (
     peek_cached,
     seed_run_cache,
 )
+from repro.obs import progress
+from repro.obs.runtime import TRACER, begin_worker, worker_telemetry
 
 
 #: Hard cap on worker processes (overrides the CI clamp and the CLI).
@@ -61,20 +63,33 @@ def default_jobs() -> int:
     return jobs
 
 
+def _instructions(result) -> int:
+    """Committed instruction count of a run result (progress rate input)."""
+    stats = getattr(result, "stats", None)
+    return getattr(stats, "instructions", 0) if stats is not None else 0
+
+
 def _worker_batch(
-    specs: list[RunSpec], cache_enabled: bool, cache_root: str | None
-) -> tuple[list[tuple[RunKey, Any]], dict, dict]:
+    specs: list[RunSpec],
+    cache_enabled: bool,
+    cache_root: str | None,
+    telemetry: dict | None = None,
+) -> tuple[list[tuple[RunKey, Any]], dict, dict, dict]:
     """Run one batch of specs inside a worker process.
 
-    Returns the results plus the worker's profiler snapshot and disk
-    cache counters, which the parent folds back in — otherwise a
-    parallel ``--profile``/``bench`` report would show zero simulation
-    time and zero cache writes.
+    Returns the results plus the worker's profiler snapshot, disk cache
+    counters, and wall-clock span buffer, which the parent folds back
+    in — otherwise a parallel ``--profile``/``bench`` report would show
+    zero simulation time and zero cache writes, and the span timeline
+    would have a hole where the pool did all the work.
     """
     diskcache.configure(enabled=cache_enabled, root=cache_root)
     PROFILER.reset()  # forked workers inherit the parent's totals
-    pairs = [(spec.key, execute_spec(spec)) for spec in specs]
-    return pairs, PROFILER.snapshot(), diskcache.shared_stats()
+    begin_worker(telemetry)
+    with TRACER.span("pool.worker_batch", specs=len(specs)):
+        pairs = [(spec.key, execute_spec(spec)) for spec in specs]
+    spans = {"pid": os.getpid(), **TRACER.snapshot()}
+    return pairs, PROFILER.snapshot(), diskcache.shared_stats(), spans
 
 
 def execute_runs(
@@ -96,6 +111,12 @@ def execute_runs(
         if cached is not None:
             results[key] = cached
     pending = [spec for key, spec in unique.items() if key not in results]
+    if results:
+        progress.advance_active(
+            len(results),
+            sum(_instructions(r) for r in results.values()),
+            detail="cache",
+        )
 
     jobs = jobs or 1
     cap = max_jobs()
@@ -104,6 +125,9 @@ def execute_runs(
     if jobs <= 1 or len(pending) <= 1:
         for spec in pending:
             results[spec.key] = execute_spec(spec)
+            progress.advance_active(
+                1, _instructions(results[spec.key]), detail=spec.abbrev
+            )
         return results
 
     # One batch per (benchmark, scale): the worker's in-process trace
@@ -120,22 +144,37 @@ def execute_runs(
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         context = multiprocessing.get_context()
-    with PROFILER.section("parallel_execution"):
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(_worker_batch, batch, cache_enabled, cache_root)
-                for batch in batches
-            ]
-            for future in as_completed(futures):
-                pairs, worker_profile, worker_disk = future.result()
-                for key, result in pairs:
-                    seed_run_cache(key, result)
-                    results[key] = result
-                    PROFILER.bump("parallel_runs_completed")
-                PROFILER.merge_snapshot(worker_profile)
-                diskcache.merge_stats(worker_disk)
+    telemetry = worker_telemetry()
+    with TRACER.span("pool.execute_runs", pending=len(pending),
+                     batches=len(batches), workers=workers):
+        with PROFILER.section("parallel_execution"):
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(_worker_batch, batch, cache_enabled,
+                                cache_root, telemetry)
+                    for batch in batches
+                ]
+                for future in as_completed(futures):
+                    pairs, worker_profile, worker_disk, spans = (
+                        future.result()
+                    )
+                    instructions = 0
+                    for key, result in pairs:
+                        seed_run_cache(key, result)
+                        results[key] = result
+                        PROFILER.bump("parallel_runs_completed")
+                        instructions += _instructions(result)
+                    PROFILER.merge_snapshot(worker_profile)
+                    diskcache.merge_stats(worker_disk)
+                    TRACER.merge(
+                        spans, process=f"worker-{spans.get('pid', '?')}"
+                    )
+                    progress.advance_active(
+                        len(pairs), instructions,
+                        detail=pairs[0][0].abbrev if pairs else None,
+                    )
     return results
 
 
@@ -143,7 +182,12 @@ def warm_cache(specs: Iterable[RunSpec], jobs: int | None = None) -> None:
     """Prefetch runs into the caches ahead of a serial driver loop.
 
     With ``jobs`` unset this is a no-op — the driver's own lazy calls do
-    the work serially, exactly as before the parallel engine existed.
+    the work serially, exactly as before the parallel engine existed —
+    unless a progress tracker is active, in which case the serial work
+    routes through ``execute_runs`` anyway (identical execution, but
+    each resolved run emits a heartbeat instead of staying dark).
     """
     if jobs and jobs > 1:
+        execute_runs(specs, jobs)
+    elif progress.current() is not None:
         execute_runs(specs, jobs)

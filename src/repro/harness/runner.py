@@ -25,6 +25,7 @@ import repro.harness.diskcache as diskcache
 from repro.core import DynaSpAM, DynaSpAMConfig, DynaSpAMResult
 from repro.fabric.config import FabricConfig
 from repro.harness.profiling import PROFILER
+from repro.obs.runtime import TRACER
 from repro.ooo.config import CoreConfig
 from repro.ooo.fastpath import make_pipeline
 from repro.ooo.pipeline import OOOPipeline, PipelineResult
@@ -162,19 +163,25 @@ def seed_run_cache(key: RunKey, result) -> None:
 
 
 def _simulate(spec: RunSpec, sink=None):
-    with PROFILER.section("trace_generation"):
-        trace = generate_trace(spec.abbrev, spec.scale)
+    with TRACER.span("sim.trace_generation",
+                     benchmark=spec.abbrev, scale=spec.scale):
+        with PROFILER.section("trace_generation"):
+            trace = generate_trace(spec.abbrev, spec.scale)
     if spec.kind == "baseline":
-        with PROFILER.section("simulate_baseline"):
-            return make_pipeline(spec.core_config).run_trace(trace.trace)
+        with TRACER.span("sim.baseline",
+                         benchmark=spec.abbrev, scale=spec.scale):
+            with PROFILER.section("simulate_baseline"):
+                return make_pipeline(spec.core_config).run_trace(trace.trace)
     machine = DynaSpAM(
         core_config=spec.core_config,
         fabric_config=spec.fabric_config,
         ds_config=spec.ds_config,
         sink=sink,
     )
-    with PROFILER.section("simulate_dynaspam"):
-        result = machine.run(trace.trace, trace.program)
+    with TRACER.span("sim.dynaspam",
+                     benchmark=spec.abbrev, scale=spec.scale):
+        with PROFILER.section("simulate_dynaspam"):
+            result = machine.run(trace.trace, trace.program)
     PROFILER.bump("predict_memo_hits", result.stats.predict_memo_hits)
     PROFILER.bump("predict_memo_misses", result.stats.predict_memo_misses)
     return result
@@ -194,7 +201,9 @@ def execute_spec(spec: RunSpec, sink=None):
         if cached is not None:
             return cached
     PROFILER.bump("runs_simulated")
-    result = _simulate(spec, sink=sink)
+    with TRACER.span("sim.execute_spec", kind=spec.kind,
+                     benchmark=spec.abbrev, scale=spec.scale):
+        result = _simulate(spec, sink=sink)
     _RUN_CACHE[key] = result
     disk = diskcache.shared_cache("runs")
     if disk is not None:
@@ -291,13 +300,14 @@ def simulation_report(
             decision_sink if sink is None else TeeSink(sink, decision_sink)
         )
 
-    run = generate_trace(abbrev, scale)
-    baseline = run_baseline(abbrev, scale)
-    result = run_dynaspam(
-        abbrev, scale, mode=mode, speculation=speculation,
-        trace_length=trace_length, num_fabrics=num_fabrics, mapper=mapper,
-        sink=sink,
-    )
+    with TRACER.span("sim.report", benchmark=abbrev, scale=scale):
+        run = generate_trace(abbrev, scale)
+        baseline = run_baseline(abbrev, scale)
+        result = run_dynaspam(
+            abbrev, scale, mode=mode, speculation=speculation,
+            trace_length=trace_length, num_fabrics=num_fabrics, mapper=mapper,
+            sink=sink,
+        )
     model = EnergyModel()
     base_energy = model.breakdown(baseline.stats)
     dyna_energy = model.breakdown(result.stats)
@@ -364,13 +374,16 @@ def program_simulation_report(
     from repro.lang import interpret, load_module, output_of, run_passes
     from repro.workloads.suite import register_program
 
-    bench = register_program(path, passes)
-    module = load_module(pathlib.Path(path).read_text(), filename=str(path))
-    if passes:
-        module = run_passes(module, list(passes))
-    ref = interpret(module)
-    trace = generate_trace(bench.abbrev)
-    output = output_of(trace)
+    with TRACER.span("ingest.program", program=str(path)):
+        bench = register_program(path, passes)
+        module = load_module(
+            pathlib.Path(path).read_text(), filename=str(path)
+        )
+        if passes:
+            module = run_passes(module, list(passes))
+        ref = interpret(module)
+        trace = generate_trace(bench.abbrev)
+        output = output_of(trace)
     assert output == ref.output, (
         f"{path}: simulated output {output} != interpreter {ref.output}"
     )

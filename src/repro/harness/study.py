@@ -97,6 +97,7 @@ def study_programs(
     programs_dir: str,
     pipelines: tuple[tuple[str, ...], ...] = DEFAULT_PIPELINES,
     only: tuple[str, ...] | None = None,
+    tracker=None,
     **sim_knobs,
 ) -> dict:
     """Run every corpus program under every pipeline with decisions on.
@@ -110,6 +111,10 @@ def study_programs(
     ``only`` restricts to the named program stems.  Raises ``ValueError``
     when the directory has no (matching) programs; ``repro.lang`` errors
     propagate for the CLI to format.
+
+    ``tracker`` (an ``repro.obs.progress.ProgressTracker``) receives one
+    ``advance`` per finished study cell; its total is set here once the
+    corpus has been globbed (programs x pipelines).
     """
     pipelines = tuple(dict.fromkeys(pipelines))  # dedup, keep order
     if not pipelines:
@@ -128,15 +133,24 @@ def study_programs(
         raise ValueError(f"no .spam programs under {programs_dir}")
 
     labels = [pipeline_label(p) for p in pipelines]
+    if tracker is not None:
+        tracker.total = len(paths) * len(pipelines)
     programs: dict[str, dict] = {}
     conserved = True
     for path in paths:
         rows: dict[str, dict] = {}
         for passes in pipelines:
+            label = pipeline_label(passes)
             report = program_simulation_report(
                 str(path), passes, decisions=True, **sim_knobs
             )
-            rows[pipeline_label(passes)] = _row(report)
+            rows[label] = _row(report)
+            if tracker is not None:
+                tracker.advance(
+                    1,
+                    int(report["dynamic_instructions"]),
+                    detail=f"{path.stem}/{label}",
+                )
         base = rows[labels[0]]
         for label, row in rows.items():
             row["delta"] = _delta(row, base)

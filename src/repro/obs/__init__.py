@@ -4,6 +4,12 @@ Zero overhead when disabled — every instrumented component holds
 ``bus = None`` by default and guards each emission with a single pointer
 comparison.  Pass any :class:`EventSink` to ``DynaSpAM(sink=...)`` (or the
 harness/CLI equivalents) to record the full lifecycle stream.
+
+Two clocks live side by side here: the *simulated* instrumentation above
+counts cycles, while :mod:`repro.obs.runtime` (wall-clock span tracer),
+:mod:`repro.obs.logging` (JSONL structured log), and
+:mod:`repro.obs.progress` (live heartbeats) observe the *host* process —
+see ``docs/observability.md``.
 """
 
 from repro.obs.events import (
@@ -49,6 +55,16 @@ from repro.obs.diffing import (
     render_diff,
 )
 from repro.obs.dashboard import render_dashboard, write_dashboard
+from repro.obs.logging import RuntimeLog, log_record, open_log
+from repro.obs.progress import ProgressTracker, render_heartbeat
+from repro.obs.runtime import (
+    TRACER,
+    SpanRecord,
+    SpanTracer,
+    SpanWatchdog,
+    init_runtime_telemetry,
+    shutdown_runtime_telemetry,
+)
 
 __all__ = [
     "EVENT_TYPES",
@@ -86,4 +102,15 @@ __all__ = [
     "render_diff",
     "render_dashboard",
     "write_dashboard",
+    "RuntimeLog",
+    "log_record",
+    "open_log",
+    "ProgressTracker",
+    "render_heartbeat",
+    "TRACER",
+    "SpanRecord",
+    "SpanTracer",
+    "SpanWatchdog",
+    "init_runtime_telemetry",
+    "shutdown_runtime_telemetry",
 ]

@@ -17,6 +17,14 @@ The unit of ``ts`` is the simulated *cycle* (declared via
 ``displayTimeUnit``); durations are cycles too.  One JSON object with a
 ``traceEvents`` array is produced — the format both Perfetto and
 chrome://tracing load directly.
+
+When host-runtime telemetry is on (``repro run --trace-out`` enables
+it), a **second process** (pid 2, "host runtime (wall clock)") carries
+the wall-clock spans from :mod:`repro.obs.runtime`: one thread track
+per (process, thread) pair — the main process plus any ``worker-<pid>``
+pool processes — with ``ts``/``dur`` in microseconds relative to the
+earliest host span.  The simulated tracks are bit-identical whether or
+not host spans are attached.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.obs.events import Event
 from repro.obs.lifetime import format_trace_id
 
 PID = 1
+HOST_PID = 2
 TID_PHASE = 1
 TID_STALL = 2
 TID_MAPPING = 3
@@ -82,10 +91,59 @@ def _jsonable_args(data: dict) -> dict:
     return args
 
 
+def _host_track_events(host_spans) -> list[dict]:
+    """Wall-clock span records -> pid-2 trace events (one tid per
+    (process, thread) pair; ts/dur in µs from the earliest span)."""
+    records = [
+        span if isinstance(span, dict) else span.as_dict()
+        for span in host_spans
+    ]
+    if not records:
+        return []
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": HOST_PID, "tid": 0,
+        "args": {"name": "host runtime (wall clock)"},
+    }]
+    tracks: dict[tuple[str, str], int] = {}
+    for record in records:
+        key = (record.get("process", "main"), record.get("thread", "?"))
+        if key not in tracks:
+            tracks[key] = len(tracks) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": HOST_PID,
+                "tid": tracks[key], "args": {"name": f"{key[0]} / {key[1]}"},
+            })
+    base = min(record["start"] for record in records)
+    spans = []
+    for record in records:
+        key = (record.get("process", "main"), record.get("thread", "?"))
+        args = dict(record.get("attrs") or {})
+        args["depth"] = record.get("depth", 0)
+        args["duration_seconds"] = record["duration"]
+        spans.append({
+            "name": record["name"], "ph": "X", "pid": HOST_PID,
+            "tid": tracks[key],
+            "ts": round((record["start"] - base) * 1e6),
+            "dur": max(round(record["duration"] * 1e6), 1),
+            "args": args,
+        })
+    # Per track: by start time, parents (longer, shallower) before the
+    # children they enclose.
+    spans.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+    return events + spans
+
+
 def build_chrome_trace(
-    events: Iterable[Event], end_cycle: int | None = None
+    events: Iterable[Event],
+    end_cycle: int | None = None,
+    host_spans: Iterable | None = None,
 ) -> dict:
-    """Convert a recorded event stream into a Chrome trace-event dict."""
+    """Convert a recorded event stream into a Chrome trace-event dict.
+
+    ``host_spans`` (optional) is an iterable of
+    :class:`repro.obs.runtime.SpanRecord` objects or their ``as_dict``
+    forms; when non-empty they become the pid-2 wall-clock process.
+    """
     trace_events: list[dict] = [
         {
             "name": "process_name", "ph": "M", "pid": PID, "tid": 0,
@@ -225,17 +283,24 @@ def build_chrome_trace(
     timed = [e for e in trace_events if e["ph"] != "M"]
     timed.sort(key=lambda e: (e["tid"], e["ts"], e.get("dur", 0)))
     return {
-        "traceEvents": metadata + timed,
+        "traceEvents": (
+            metadata + timed + _host_track_events(host_spans or ())
+        ),
         "displayTimeUnit": "ns",
         "otherData": {"time_unit": "simulated cycle"},
     }
 
 
 def write_chrome_trace(
-    events: Iterable[Event], path, end_cycle: int | None = None
+    events: Iterable[Event],
+    path,
+    end_cycle: int | None = None,
+    host_spans: Iterable | None = None,
 ) -> int:
     """Write the trace JSON to ``path``; returns the event count."""
-    trace = build_chrome_trace(events, end_cycle=end_cycle)
+    trace = build_chrome_trace(
+        events, end_cycle=end_cycle, host_spans=host_spans
+    )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trace, handle, indent=1)
         handle.write("\n")

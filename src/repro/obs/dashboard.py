@@ -7,7 +7,10 @@ for uploading as a CI artifact.  Two charts:
 * stacked cycle-accounting bars, one row per (benchmark, series), each
   segment a conserved bucket from ``repro.obs.accounting``;
 * a fabric-utilization heatmap, benchmarks x stripes, shaded by
-  invocation-weighted occupancy.
+  invocation-weighted occupancy;
+
+plus a host wall-clock panel (per-section seconds from the report's
+``profile`` block) and, when present, the trace-fate breakdown.
 
 Everything is derived from the report's stats-based ``accounting`` and
 ``fabric_utilization`` blocks — no event stream is consumed, so the
@@ -446,6 +449,61 @@ def _fate_table(decisions: dict) -> str:
     )
 
 
+def _wallclock_section(report: dict) -> str:
+    """Host wall-clock summary from the report's existing ``profile`` /
+    ``wall_clock_seconds`` / ``cache`` blocks (pure rendering — the
+    bench report itself is unchanged by this panel)."""
+    profile = report.get("profile") or {}
+    sections = profile.get("sections_seconds") or {}
+    if not sections:
+        return ""
+    wall = float(report.get("wall_clock_seconds", 0.0) or 0.0)
+    cache = report.get("cache") or {}
+    widest = max(sections.values()) or 1.0
+    rows = sorted(sections.items(), key=lambda kv: -kv[1])
+    height = len(rows) * _ROW_H + 8
+    parts = [
+        f'<svg role="img" width="{_LEFT + _PLOT_W + _LABEL_W}" '
+        f'height="{height}" '
+        f'aria-label="Host wall-clock seconds per harness section">'
+    ]
+    y = 4
+    for name, seconds in rows:
+        parts.append(
+            f'<text x="{_LEFT - 8}" y="{y + _BAR_H - 4}" '
+            f'text-anchor="end">{html.escape(name)}</text>'
+        )
+        width = max(seconds / widest * _PLOT_W, 0.5)
+        share = seconds / wall if wall else 0.0
+        parts.append(
+            f'<rect x="{_LEFT}" y="{y}" width="{width:.1f}" '
+            f'height="{_BAR_H}" rx="4" fill="var(--bucket-host)">'
+            f"<title>{html.escape(name)}: {seconds:.3f}s "
+            f"({share:.1%} of wall clock)</title></rect>"
+        )
+        parts.append(
+            f'<text class="value" x="{_LEFT + width + 6:.1f}" '
+            f'y="{y + _BAR_H - 4}">{seconds:.3f}s</text>'
+        )
+        y += _ROW_H
+    parts.append("</svg>")
+    hit_ratio = cache.get("hit_ratio")
+    ratio_note = (
+        f" · cache hit ratio {hit_ratio:.0%}" if hit_ratio is not None
+        else ""
+    )
+    return f"""
+  <h2>Host wall clock</h2>
+  <p class="sub">Wall-clock seconds per harness section (host process,
+  monotonic clock) against a total of
+  {wall:.2f}s{html.escape(ratio_note)}. Sections overlap the sweep and
+  each other, so they need not sum to the total.</p>
+  <div class="card">
+    {''.join(parts)}
+  </div>
+"""
+
+
 def _fates_section(decisions: dict | None) -> str:
     if not decisions:
         return ""
@@ -517,6 +575,7 @@ def render_dashboard(report: dict) -> str:
     {_heatmap(utilization)}
   </div>
 
+{_wallclock_section(report)}
 {_fates_section(report.get("decisions"))}
   <h2>Table view</h2>
   <div class="card">

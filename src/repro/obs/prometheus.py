@@ -16,6 +16,8 @@ Exposed families::
     repro_queue_draining                  gauge (0/1)
     repro_job_latency_seconds             histogram (+ _sum, _count)
     repro_job_latency_window_seconds{q=}  gauge (ring percentiles)
+    repro_queue_wait_window_seconds{q=}   gauge (submit-to-start wait)
+    repro_span_duration_seconds{span=}    histogram (host wall-clock spans)
     repro_cache_hits_total{layer=...}     counter
     repro_runs_simulated_total            counter
     repro_lifecycle_events_total{event=}  counter (simulated lifecycle)
@@ -125,6 +127,32 @@ def render_prometheus(snapshot: dict) -> str:
     for quantile in ("p50", "p90", "p99", "max"):
         w.sample("repro_job_latency_window_seconds",
                  window.get(quantile, 0.0), {"q": quantile})
+
+    wait = snapshot.get("queue_wait_seconds", {})
+    w.family("repro_queue_wait_window_seconds", "gauge",
+             "Exact submit-to-start wait percentiles (monotonic clock) "
+             "over the bounded ring.")
+    for quantile in ("p50", "p90", "p99", "max"):
+        w.sample("repro_queue_wait_window_seconds",
+                 wait.get(quantile, 0.0), {"q": quantile})
+
+    spans = snapshot.get("spans", {})
+    if spans:
+        w.family("repro_span_duration_seconds", "histogram",
+                 "Host-runtime wall-clock span durations by span name "
+                 "(repro.obs.runtime taxonomy).")
+        for name in sorted(spans):
+            histogram = spans[name] or {}
+            cumulative = 0
+            for upper, count in histogram.get("buckets", []):
+                cumulative += count
+                le = "+Inf" if upper is None else _fmt(float(upper))
+                w.sample("repro_span_duration_seconds_bucket", cumulative,
+                         {"span": name, "le": le})
+            w.sample("repro_span_duration_seconds_sum",
+                     histogram.get("sum", 0.0), {"span": name})
+            w.sample("repro_span_duration_seconds_count",
+                     histogram.get("count", 0), {"span": name})
 
     cache = snapshot.get("cache", {})
     w.family("repro_cache_hits_total", "counter",

@@ -147,6 +147,45 @@ class ServiceClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/v1/jobs/{job_id}")["job"]
 
+    def progress(self, job_id: str) -> dict:
+        """Lifecycle state + latest heartbeat (``repro watch`` polls this)."""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/progress"
+        )["progress"]
+
+    def watch(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.2,
+        on_progress=None,
+    ) -> dict:
+        """Poll the progress endpoint until terminal, invoking
+        ``on_progress(progress_doc)`` on every state/heartbeat change.
+        Returns the final progress document (raises :class:`JobFailed`
+        on the failed state, like :meth:`wait`)."""
+        deadline = time.monotonic() + timeout
+        last = None
+        while True:
+            doc = self.progress(job_id)
+            snapshot = (doc.get("state"), doc.get("heartbeat"))
+            if on_progress is not None and snapshot != last:
+                last = snapshot
+                try:
+                    on_progress(doc)
+                except Exception:  # noqa: BLE001 — render errors don't abort
+                    pass
+            if doc.get("terminal"):
+                if doc.get("state") == "failed":
+                    raise JobFailed(doc)
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc.get('state')} "
+                    f"after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
     def wait(
         self,
         job_id: str,

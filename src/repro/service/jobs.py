@@ -163,6 +163,16 @@ class JobRequest:
             ("decisions", self.decisions),
         )
 
+    @property
+    def run_key(self) -> str:
+        """Short stable digest of :attr:`flight_key` — the correlation id
+        spans and log lines carry (the raw key is a deep tuple)."""
+        import hashlib
+
+        return hashlib.sha256(
+            repr(self.flight_key).encode()
+        ).hexdigest()[:12]
+
     def execute(self) -> dict:
         """Run (or cache-resolve) the simulation and build the report."""
         from repro.harness.runner import simulation_report
@@ -197,7 +207,13 @@ def new_job_id() -> str:
 
 @dataclass
 class Job:
-    """One submission's lifecycle record."""
+    """One submission's lifecycle record.
+
+    Epoch stamps (``created_at``/``started_at``/``finished_at``) are for
+    display — clients render calendar times from them.  Durations come
+    from the ``*_mono`` monotonic twins: an NTP step between submit and
+    finish would silently corrupt any ``time.time()`` subtraction.
+    """
 
     request: JobRequest
     id: str = field(default_factory=new_job_id)
@@ -205,10 +221,34 @@ class Job:
     created_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
+    created_mono: float = field(default_factory=time.monotonic)
+    started_mono: float | None = None
+    finished_mono: float | None = None
     result: dict | None = None
     error: str | None = None
     #: True when this job attached to another job's in-flight execution.
     coalesced: bool = False
+    #: Latest progress heartbeat (``GET /v1/jobs/{id}/progress``); the
+    #: executor thread replaces the whole dict, never mutates it.
+    progress: dict | None = None
+
+    @property
+    def queue_wait_seconds(self) -> float | None:
+        if self.started_mono is None:
+            return None
+        return max(0.0, self.started_mono - self.created_mono)
+
+    @property
+    def run_seconds(self) -> float | None:
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return max(0.0, self.finished_mono - self.started_mono)
+
+    @property
+    def total_seconds(self) -> float | None:
+        if self.finished_mono is None:
+            return None
+        return max(0.0, self.finished_mono - self.created_mono)
 
     def to_doc(self, include_result: bool = True) -> dict:
         doc = {
@@ -218,9 +258,25 @@ class Job:
             "created_at": self.created_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "run_seconds": self.run_seconds,
             "coalesced": self.coalesced,
             "error": self.error,
         }
         if include_result:
             doc["result"] = self.result
         return doc
+
+    def progress_doc(self) -> dict:
+        """The ``/v1/jobs/{id}/progress`` body: lifecycle plus the most
+        recent heartbeat, cheap enough to poll every few hundred ms."""
+        return {
+            "id": self.id,
+            "state": self.state,
+            "terminal": self.state in JobState.TERMINAL,
+            "coalesced": self.coalesced,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "run_seconds": self.run_seconds,
+            "heartbeat": self.progress,
+            "error": self.error,
+        }

@@ -98,8 +98,17 @@ class LatencyHistogram:
 class ServiceMetrics:
     """Monotonic counters + latency ring; snapshots merge harness stats."""
 
+    #: Cardinality guard for per-span histograms.  Span names are a
+    #: small fixed taxonomy; anything past the cap (a bug, or a hostile
+    #: caller) aggregates under ``other``.
+    MAX_SPAN_FAMILIES = 64
+
     def __init__(self, latency_capacity: int = 2048) -> None:
+        #: Epoch stamp, for display only.  Durations (uptime, latencies)
+        #: come from the monotonic clock — ``time.time()`` deltas jump
+        #: with NTP corrections.
         self.started_at = time.time()
+        self.started_mono = time.monotonic()
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         # Invocation-weighted fabric-occupancy accumulators: ratios from
@@ -110,6 +119,8 @@ class ServiceMetrics:
         self._fabric_fill_weight = 0.0
         self.latency = LatencyRing(latency_capacity)
         self.latency_histogram = LatencyHistogram()
+        self.queue_wait = LatencyRing(latency_capacity)
+        self._span_histograms: dict[str, LatencyHistogram] = {}
 
     def bump(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -122,6 +133,30 @@ class ServiceMetrics:
     def observe_latency(self, seconds: float) -> None:
         self.latency.observe(seconds)
         self.latency_histogram.observe(seconds)
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        self.queue_wait.observe(seconds)
+
+    def observe_span(self, name: str, seconds: float) -> None:
+        """Feed one finished wall-clock span into its duration histogram
+        (the family behind ``repro_span_duration_seconds``)."""
+        with self._lock:
+            histogram = self._span_histograms.get(name)
+            if histogram is None:
+                if len(self._span_histograms) >= self.MAX_SPAN_FAMILIES:
+                    name = "other"
+                histogram = self._span_histograms.setdefault(
+                    name, LatencyHistogram()
+                )
+        histogram.observe(seconds)
+
+    def span_listener(self):
+        """A ``SpanTracer`` listener feeding :meth:`observe_span`."""
+
+        def listener(record) -> None:
+            self.observe_span(record.name, record.duration)
+
+        return listener
 
     def observe_report(self, report) -> None:
         """Fold one completed job's run report into lifecycle totals.
@@ -215,8 +250,10 @@ class ServiceMetrics:
             fabric_invocations = self._fabric_invocations
             placed_weight = self._fabric_placed_weight
             fill_weight = self._fabric_fill_weight
+        with self._lock:
+            span_histograms = dict(self._span_histograms)
         doc = {
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self.started_mono,
             "jobs": {
                 "submitted": counters.get("submitted", 0),
                 "rejected": counters.get("rejected", 0),
@@ -226,6 +263,11 @@ class ServiceMetrics:
             },
             "latency_seconds": self.latency.summary(),
             "latency_histogram": self.latency_histogram.summary(),
+            "queue_wait_seconds": self.queue_wait.summary(),
+            "spans": {
+                name: histogram.summary()
+                for name, histogram in sorted(span_histograms.items())
+            },
             "lifecycle": {
                 name[len("lifecycle."):]: value
                 for name, value in counters.items()

@@ -86,6 +86,7 @@ class JobQueue:
                 job = self._jobs[self._pending.popleft()]
                 job.state = JobState.RUNNING
                 job.started_at = time.time()
+                job.started_mono = time.monotonic()
                 self._running.add(job.id)
                 batch.append(job)
         return batch
@@ -111,6 +112,7 @@ class JobQueue:
             job.result = result
             job.error = error
             job.finished_at = time.time()
+            job.finished_mono = time.monotonic()
             if state == JobState.DONE:
                 self.done_total += 1
             else:

@@ -20,9 +20,12 @@ the state machine race-free without fine-grained locking.
 from __future__ import annotations
 
 import asyncio
+import functools
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.obs.progress import ProgressTracker
+from repro.obs.runtime import TRACER
 from repro.service.jobs import Job, JobRequest
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import JobQueue
@@ -61,27 +64,67 @@ class FlightTable:
         return key in self._flights
 
 
-def execute_batch(requests: list[JobRequest], sim_jobs: int = 1) -> dict:
+def execute_batch(
+    requests: list[JobRequest],
+    sim_jobs: int = 1,
+    progress_cb=None,
+    job_ids: dict | None = None,
+) -> dict:
     """Resolve one batch of deduplicated requests (runs in a worker thread).
 
     Returns ``{flight_key: ("ok", report) | ("error", message)}`` — a
     failure in one request never poisons its batchmates.
+
+    ``progress_cb(flight_key, heartbeat)`` (optional) receives a
+    progress heartbeat as each request starts and finishes; ``job_ids``
+    maps flight keys to leader job ids so every span recorded inside a
+    request execution carries ``job_id``/``run_key`` correlation attrs.
     """
     from repro.harness.parallel import warm_cache
 
+    job_ids = job_ids or {}
     specs = [spec for request in requests for spec in request.specs()]
-    if sim_jobs > 1:
+    tracker = ProgressTracker(len(requests), label="batch")
+
+    def notify(request, phase: str) -> None:
+        if progress_cb is None:
+            return
+        beat = tracker.heartbeat(detail=request.benchmark)
+        beat["phase"] = phase
         try:
-            warm_cache(specs, jobs=sim_jobs)
-        except Exception:
-            # Fall through: per-request execution surfaces the real error.
+            progress_cb(request.flight_key, beat)
+        except Exception:  # noqa: BLE001 — progress must never kill a batch
             pass
-    out: dict[tuple, tuple[str, object]] = {}
-    for request in requests:
-        try:
-            out[request.flight_key] = ("ok", request.execute())
-        except Exception as exc:  # noqa: BLE001 — report, don't crash the pool
-            out[request.flight_key] = ("error", f"{type(exc).__name__}: {exc}")
+
+    with TRACER.span("service.execute_batch",
+                     requests=len(requests), sim_jobs=sim_jobs):
+        if sim_jobs > 1:
+            try:
+                warm_cache(specs, jobs=sim_jobs)
+            except Exception:
+                # Fall through: per-request execution surfaces the error.
+                pass
+        out: dict[tuple, tuple[str, object]] = {}
+        for request in requests:
+            notify(request, "running")
+            with TRACER.bind(job_id=job_ids.get(request.flight_key),
+                             run_key=request.run_key):
+                with TRACER.span("service.execute_request",
+                                 benchmark=request.benchmark):
+                    try:
+                        outcome = ("ok", request.execute())
+                    except Exception as exc:  # noqa: BLE001 — report it
+                        outcome = (
+                            "error", f"{type(exc).__name__}: {exc}"
+                        )
+            out[request.flight_key] = outcome
+            instructions = 0
+            if outcome[0] == "ok" and isinstance(outcome[1], dict):
+                instructions = int(
+                    outcome[1].get("dynamic_instructions", 0) or 0
+                )
+            tracker.advance(1, instructions, detail=request.benchmark)
+            notify(request, "finished" if outcome[0] == "ok" else "failed")
     return out
 
 
@@ -103,6 +146,9 @@ class Scheduler:
         self.workers = max(1, workers)
         self.sim_jobs = max(1, sim_jobs)
         self.max_batch = max(1, max_batch)
+        #: Injected executors (tests) keep the legacy two-argument call;
+        #: only the stock executor gets progress/correlation plumbing.
+        self._default_executor = execute_batch_fn is None
         self._execute_batch = execute_batch_fn or execute_batch
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-sim"
@@ -168,17 +214,42 @@ class Scheduler:
 
     async def _run_flights(self, flights: list[Flight]) -> None:
         requests = [flight.jobs[0].request for flight in flights]
+        flight_map = {flight.key: flight for flight in flights}
+        for flight in flights:
+            for job in flight.jobs:
+                job.progress = {
+                    "phase": "dispatched",
+                    "requests_total": len(requests),
+                }
         loop = asyncio.get_running_loop()
-        try:
-            outcomes = await loop.run_in_executor(
-                self._pool, self._execute_batch, requests, self.sim_jobs
+        if self._default_executor:
+            # Heartbeats arrive on the worker thread; writing a fresh
+            # dict per update keeps readers race-free without a lock.
+            def on_progress(key, beat):
+                flight = flight_map.get(key)
+                if flight is not None:
+                    for job in list(flight.jobs):
+                        job.progress = beat
+
+            call = functools.partial(
+                self._execute_batch, requests, self.sim_jobs,
+                progress_cb=on_progress,
+                job_ids={
+                    flight.key: flight.jobs[0].id for flight in flights
+                },
             )
+        else:
+            call = functools.partial(
+                self._execute_batch, requests, self.sim_jobs
+            )
+        try:
+            outcomes = await loop.run_in_executor(self._pool, call)
         except Exception as exc:  # pool broken / executor-level failure
             outcomes = {
                 flight.key: ("error", f"{type(exc).__name__}: {exc}")
                 for flight in flights
             }
-        now = time.time()
+        now = time.monotonic()
         for flight in flights:
             # Land before completing so a post-completion duplicate
             # starts a fresh flight (and is then served by the caches).
@@ -194,5 +265,13 @@ class Scheduler:
                 else:
                     self.queue.fail(job.id, str(value))
                     self.metrics.bump("failed")
-                self.metrics.observe_latency(now - job.created_at)
+                # Monotonic end-to-end latency: wall-clock deltas would
+                # absorb any clock step between submit and finish.
+                self.metrics.observe_latency(now - job.created_mono)
+                wait = job.queue_wait_seconds
+                if wait is not None:
+                    self.metrics.observe_queue_wait(wait)
+                final = dict(job.progress or {})
+                final["phase"] = "done" if status == "ok" else "failed"
+                job.progress = final
         self.wake()

@@ -12,6 +12,10 @@ Endpoints::
     POST /v1/jobs        -> 202 {"job": {...}} | 400 | 429 (+Retry-After) | 503
     GET  /v1/jobs        -> {"jobs": [...]} (retained jobs, no result bodies)
     GET  /v1/jobs/{id}   -> job document with result when done | 404
+    GET  /v1/jobs/{id}/progress
+                         -> lifecycle state + latest heartbeat (live
+                            done/total + instr/s while running); cheap
+                            enough for sub-second polling (``repro watch``)
 
 Graceful shutdown (``SIGTERM``/``SIGINT`` under ``repro serve``): the
 listener closes, the queue stops admitting (503), and the scheduler
@@ -25,6 +29,7 @@ import json
 import signal
 import threading
 
+from repro.obs.runtime import TRACER
 from repro.service.errors import ServiceError
 from repro.service.jobs import JobRequest
 from repro.service.metrics import ServiceMetrics
@@ -75,6 +80,15 @@ class ServiceServer:
             workers=workers, sim_jobs=sim_jobs, max_batch=max_batch,
         )
         self._server: asyncio.base_events.Server | None = None
+        # Host-runtime telemetry: the service always traces (spans feed
+        # the `repro_span_duration_seconds` histograms on /metrics; the
+        # JSONL log additionally attaches when REPRO_LOG is set).  The
+        # run_id spans every job of this server's lifetime; per-flight
+        # job_id/run_key attrs come from the scheduler's bindings.
+        self._tracer_was_enabled = TRACER.enabled
+        self.run_id = TRACER.enable()
+        self._span_listener = self.metrics.span_listener()
+        TRACER.add_listener(self._span_listener)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -94,6 +108,9 @@ class ServiceServer:
             self._server = None
         self.queue.close()
         await self.scheduler.drain()
+        TRACER.remove_listener(self._span_listener)
+        if not self._tracer_was_enabled:
+            TRACER.disable()
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -197,6 +214,11 @@ class ServiceServer:
                 if method == "GET":
                     return self._list_jobs()
                 raise _HttpError(405, f"{method} not allowed on {path}")
+            if (path.startswith("/v1/jobs/") and path.count("/") == 4
+                    and path.endswith("/progress")):
+                if method != "GET":
+                    raise _HttpError(405, f"{method} not allowed on {path}")
+                return self._get_progress(path.split("/")[3])
             if path.startswith("/v1/jobs/") and path.count("/") == 3:
                 if method != "GET":
                     raise _HttpError(405, f"{method} not allowed on {path}")
@@ -248,6 +270,10 @@ class ServiceServer:
     def _get_job(self, job_id: str):
         job = self.queue.get(job_id)
         return self._ok({"job": job.to_doc()})
+
+    def _get_progress(self, job_id: str):
+        job = self.queue.get(job_id)
+        return self._ok({"progress": job.progress_doc()})
 
     def _list_jobs(self):
         return self._ok(

@@ -4,12 +4,15 @@ import pytest
 
 import repro.harness.diskcache as diskcache
 from repro.harness.parallel import default_jobs, execute_runs
+from repro.harness.profiling import PROFILER
 from repro.harness.runner import (
     clear_run_cache,
     dynaspam_spec,
     execute_spec,
     run_dynaspam,
 )
+from repro.obs import progress
+from repro.obs.runtime import TRACER
 from repro.workloads import ALL_ABBREVS
 
 SCALE = 0.05
@@ -75,6 +78,64 @@ def test_jobs_one_runs_serially(no_disk):
     specs = [dynaspam_spec("KM", SCALE)]
     results = execute_runs(specs, jobs=1)
     assert specs[0].key in results
+
+
+def test_worker_profiles_and_spans_merge_into_parent(no_disk, monkeypatch):
+    """Regression: child-process profiler sections and tracer spans both
+    come home through the pool fan-out, tagged per worker process."""
+    monkeypatch.delenv("REPRO_MAX_JOBS", raising=False)
+    clear_run_cache()
+    PROFILER.reset()
+    TRACER.reset()
+    TRACER.enable("run-pool")
+    tracker = progress.ProgressTracker(2, label="test")
+    progress.activate(tracker)
+    try:
+        specs = [dynaspam_spec("KM", SCALE), dynaspam_spec("BFS", SCALE)]
+        results = execute_runs(specs, jobs=2)
+        assert set(results) == {spec.key for spec in specs}
+    finally:
+        progress.deactivate()
+        TRACER.disable()
+        records = TRACER.records()
+        TRACER.reset()
+        TRACER.run_id = None
+
+    # Worker wall-clock sections land under the workers.* prefix.
+    sections = PROFILER.snapshot()["sections_seconds"]
+    assert "parallel_execution" in sections
+    assert any(name.startswith("workers.") for name in sections)
+
+    # Worker spans are merged with a worker-<pid> process tag and the
+    # parent's run id; the parent recorded the fan-out span itself.
+    names = {record.name for record in records}
+    assert "pool.execute_runs" in names
+    assert "pool.worker_batch" in names
+    assert "sim.execute_spec" in names
+    processes = {record.process for record in records}
+    assert "main" in processes
+    assert any(p.startswith("worker-") for p in processes)
+    worker_records = [r for r in records if r.process != "main"]
+    assert worker_records
+    assert all(r.attrs.get("run_id") == "run-pool" for r in records)
+
+    # The progress tracker saw every unique spec exactly once.
+    assert tracker.done == 2
+    assert tracker.instructions > 0
+
+
+def test_serial_runs_advance_progress(no_disk):
+    clear_run_cache()
+    tracker = progress.ProgressTracker(1, label="test")
+    beats = []
+    tracker.add_listener(beats.append)
+    progress.activate(tracker)
+    try:
+        execute_runs([dynaspam_spec("KM", SCALE)], jobs=1)
+    finally:
+        progress.deactivate()
+    assert tracker.done == 1
+    assert beats and beats[-1]["fraction"] == 1.0
 
 
 def test_default_jobs_positive():

@@ -4,6 +4,7 @@ import json
 
 from repro.harness.runner import run_dynaspam, simulation_report
 from repro.obs import MemorySink, build_chrome_trace, write_chrome_trace
+from repro.obs.runtime import SpanRecord
 
 REQUIRED_EVENT_KEYS = {"name", "ph", "pid", "tid"}
 
@@ -71,6 +72,88 @@ def test_fat_spans_pair_dispatch_with_commit():
     for span in committed:
         assert "complete" in span["args"]
         assert span["args"]["instructions"] >= 1
+
+
+def _host_spans():
+    """A deterministic wall-clock span set: a nested main-thread pair
+    plus one span from a pool worker process."""
+    return [
+        SpanRecord(name="cli.run", start=0.0, duration=0.5,
+                   wall_start=1000.0, thread="MainThread", depth=0,
+                   attrs={"run_id": "run-golden"}),
+        SpanRecord(name="sim.execute_spec", start=0.1, duration=0.3,
+                   wall_start=1000.1, thread="MainThread", depth=1,
+                   attrs={"run_id": "run-golden", "benchmark": "KM"}),
+        SpanRecord(name="pool.worker_batch", start=0.05, duration=0.2,
+                   wall_start=1000.05, thread="MainThread", depth=0,
+                   process="worker-41", attrs={"run_id": "run-golden"}),
+    ]
+
+
+def test_host_track_is_a_second_wall_clock_process():
+    """Golden contract: host spans land on pid 2 with per-(process,
+    thread) tracks, microsecond timestamps, and monotonic nesting —
+    while the simulated-cycle tracks stay bit-identical."""
+    sink = MemorySink()
+    result = run_dynaspam("KM", 0.05, sink=sink)
+    plain = build_chrome_trace(sink.events, end_cycle=result.cycles)
+    combined = build_chrome_trace(
+        sink.events, end_cycle=result.cycles, host_spans=_host_spans()
+    )
+
+    # The simulated process (pid 1) is untouched, event for event.
+    sim_plain = [e for e in plain["traceEvents"] if e["pid"] == 1]
+    sim_combined = [e for e in combined["traceEvents"] if e["pid"] == 1]
+    assert sim_combined == sim_plain
+
+    host = [e for e in combined["traceEvents"] if e["pid"] == 2]
+    meta = {e["name"]: e for e in host if e["ph"] == "M"}
+    spans = [e for e in host if e["ph"] == "X"]
+    assert meta["process_name"]["args"]["name"] == \
+        "host runtime (wall clock)"
+    track_names = {e["args"]["name"] for e in host
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert track_names == {"main / MainThread", "worker-41 / MainThread"}
+
+    # One tid per (process, thread); worker spans never share a track
+    # with main-process spans.
+    by_track = {}
+    for span in spans:
+        by_track.setdefault(span["tid"], []).append(span)
+    assert len(by_track) == 2
+    # Timestamps are µs relative to the earliest host span, monotonic
+    # per track, and nesting holds: the child lies within its parent.
+    for track in by_track.values():
+        stamps = [s["ts"] for s in track]
+        assert stamps == sorted(stamps)
+        assert all(isinstance(s["ts"], int) and s["ts"] >= 0
+                   for s in track)
+    outer = next(s for s in spans if s["name"] == "cli.run")
+    inner = next(s for s in spans if s["name"] == "sim.execute_spec")
+    assert outer["tid"] == inner["tid"]
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+    assert outer["dur"] == 500_000 and inner["dur"] == 300_000
+    assert inner["args"]["benchmark"] == "KM"
+    assert all(s["args"]["run_id"] == "run-golden" for s in spans)
+
+
+def test_no_host_spans_means_no_second_process(tmp_path):
+    sink = MemorySink()
+    result = run_dynaspam("KM", 0.05, sink=sink)
+    plain = build_chrome_trace(sink.events, end_cycle=result.cycles)
+    explicit = build_chrome_trace(
+        sink.events, end_cycle=result.cycles, host_spans=[]
+    )
+    assert explicit == plain
+    path = tmp_path / "host.trace.json"
+    count = write_chrome_trace(
+        sink.events, path, end_cycle=result.cycles,
+        host_spans=_host_spans(),
+    )
+    doc = json.loads(path.read_text())
+    assert count == len(doc["traceEvents"])
+    assert {e["pid"] for e in doc["traceEvents"]} == {1, 2}
 
 
 def test_tracing_leaves_the_report_byte_identical():

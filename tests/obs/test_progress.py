@@ -1,0 +1,75 @@
+"""Progress heartbeats: tracker math, rendering, and the active slot."""
+
+import io
+
+from repro.obs import progress
+
+
+def test_tracker_heartbeat_fields():
+    tracker = progress.ProgressTracker(4, label="bench")
+    beat = tracker.advance(1, instructions=1000, detail="KM")
+    assert beat["label"] == "bench"
+    assert beat["done"] == 1 and beat["total"] == 4
+    assert beat["fraction"] == 0.25
+    assert beat["instructions"] == 1000
+    assert beat["instructions_per_second"] > 0
+    assert beat["eta_seconds"] is not None
+    assert beat["detail"] == "KM"
+
+    tracker.advance(3, instructions=3000)
+    final = tracker.heartbeat()
+    assert final["done"] == 4 and final["fraction"] == 1.0
+
+
+def test_zero_total_never_divides():
+    tracker = progress.ProgressTracker(0, label="study")
+    beat = tracker.heartbeat()
+    assert beat["fraction"] == 1.0
+    assert beat["eta_seconds"] is None
+
+
+def test_listeners_fire_and_never_raise():
+    tracker = progress.ProgressTracker(2)
+    beats = []
+    tracker.add_listener(beats.append)
+    tracker.add_listener(lambda beat: 1 / 0)    # must be swallowed
+    tracker.advance(1)
+    tracker.advance(1)
+    assert [b["done"] for b in beats] == [1, 2]
+
+
+def test_render_heartbeat_line():
+    line = progress.render_heartbeat({
+        "label": "bench", "done": 12, "total": 44, "fraction": 0.27,
+        "instructions_per_second": 1_800_000.0, "eta_seconds": 9.0,
+        "detail": "KM",
+    })
+    assert line == "[12/44] bench  27% | 1.8M instr/s | ETA 9s | KM"
+
+
+def test_stderr_listener_rate_limits_but_prints_final():
+    stream = io.StringIO()
+    tracker = progress.ProgressTracker(3, label="bench")
+    tracker.add_listener(
+        progress.stderr_listener(stream=stream, min_interval=3600.0)
+    )
+    tracker.advance(1)      # first beat prints (nothing printed before)
+    tracker.advance(1)      # suppressed (within the interval)
+    tracker.advance(1)      # final beat always prints
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    assert lines[-1].startswith("[3/3]")
+
+
+def test_active_slot_roundtrip():
+    assert progress.current() is None
+    progress.advance_active(1)            # free no-op with no tracker
+    tracker = progress.ProgressTracker(2)
+    progress.activate(tracker)
+    try:
+        assert progress.current() is tracker
+        progress.advance_active(1, instructions=10, detail="x")
+        assert tracker.done == 1 and tracker.instructions == 10
+    finally:
+        progress.deactivate()
+    assert progress.current() is None

@@ -125,6 +125,66 @@ def test_duplicate_burst_coalesces_and_backpressures(no_disk_cache):
     assert simulated == 2
 
 
+def test_progress_endpoint_tracks_job_lifecycle(no_disk_cache):
+    """The progress endpoint reflects queued -> running -> done, with
+    heartbeats while running and monotonic queue-wait/run durations."""
+    with ThreadedServer(workers=1, queue_depth=4) as server:
+        client = ServiceClient(port=server.port)
+        job = client.submit("KM", scale=0.05)
+
+        states, heartbeats = [], []
+
+        def on_progress(doc):
+            states.append(doc["state"])
+            if doc.get("heartbeat"):
+                heartbeats.append(doc["heartbeat"])
+
+        final = client.watch(job["id"], timeout=180,
+                             poll_interval=0.01, on_progress=on_progress)
+        assert final["state"] == "done"
+        assert final["terminal"] is True
+        assert final["id"] == job["id"]
+        assert final["coalesced"] is False
+        assert final["error"] is None
+        # The lifecycle arrived in order (polling may skip states but
+        # must never see them regress).
+        order = {"queued": 0, "running": 1, "done": 2}
+        ranks = [order[s] for s in states]
+        assert ranks == sorted(ranks)
+        assert states[-1] == "done"
+
+        # The terminal heartbeat carries the batch progress and phase.
+        beat = final["heartbeat"]
+        assert beat["phase"] == "done"
+        assert beat["label"] == "batch"
+        assert beat["done"] == beat["total"] == 1
+        assert beat["detail"] == "KM"
+        assert any(b.get("phase") in ("dispatched", "running", "finished",
+                                      "done")
+                   for b in heartbeats)
+
+        # Monotonic duration math: both waits are present, non-negative,
+        # and also live on the full job document.
+        assert final["queue_wait_seconds"] >= 0.0
+        assert final["run_seconds"] >= 0.0
+        doc = client.job(job["id"])
+        assert doc["queue_wait_seconds"] == final["queue_wait_seconds"]
+        assert doc["run_seconds"] == final["run_seconds"]
+
+        # Span histograms reached /metrics (JSON and Prometheus text).
+        metrics = client.metrics()
+        spans = metrics["spans"]
+        assert spans["service.execute_request"]["count"] >= 1
+        assert spans["sim.execute_spec"]["count"] >= 1
+        text = client.metrics_text()
+        assert ('repro_span_duration_seconds_count'
+                '{span="service.execute_request"}') in text
+        assert "repro_queue_wait_window_seconds" in text
+
+        with pytest.raises(UnknownJob):
+            client.progress("job-does-not-exist")
+
+
 def test_threaded_stop_drains_inflight_jobs(tmp_disk_cache):
     server = ThreadedServer(workers=1, queue_depth=4)
     server.start()
