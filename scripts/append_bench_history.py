@@ -14,6 +14,9 @@ dashboard artifact; locally it works the same way against any report.
 ``repro perfbench`` reports (``experiment: perfbench``) are recognized
 automatically and produce a throughput-shaped record instead: per-engine
 geomean instructions/sec and the fast-vs-interpreted speedup.
+``repro loadtest`` reports (``experiment: loadtest``) produce a
+service-level record: jobs/sec, p50/p99 latency, coalesce ratio, and
+worker utilization per traffic mix.
 
 Timestamp and commit come from the CI environment when present
 (``GITHUB_RUN_STARTED_AT`` / ``GITHUB_SHA``), falling back to the
@@ -137,9 +140,35 @@ def decision_summary(report: dict) -> dict | None:
     }
 
 
+def loadtest_record(report: dict) -> dict:
+    """History record for a ``repro loadtest`` (service SLO) report."""
+    server = report.get("server") or {}
+    workers = server.get("workers") or {}
+    latency = report.get("latency_seconds") or {}
+    return {
+        "timestamp": _timestamp(),
+        "commit": _commit(),
+        "experiment": "loadtest",
+        "loadtest_schema_version": report.get("loadtest_schema_version"),
+        "mix": report.get("mix"),
+        "rate_target_jobs_per_sec": report.get("rate_target_jobs_per_sec"),
+        "jobs_total": report.get("jobs_total"),
+        "wall_clock_seconds": report.get("wall_clock_seconds"),
+        "throughput_jobs_per_sec": report.get("throughput_jobs_per_sec"),
+        "latency_p50_seconds": latency.get("p50"),
+        "latency_p99_seconds": latency.get("p99"),
+        "coalesce_ratio": server.get("coalesce_ratio"),
+        "conserved": server.get("conserved"),
+        "workers_total": workers.get("total"),
+        "worker_utilization": workers.get("utilization"),
+    }
+
+
 def history_record(report: dict) -> dict:
     if report.get("experiment") == "perfbench":
         return perfbench_record(report)
+    if report.get("experiment") == "loadtest":
+        return loadtest_record(report)
     record = {
         "timestamp": _timestamp(),
         "commit": _commit(),
@@ -180,6 +209,11 @@ def main(argv: list[str] | None = None) -> int:
         fast = (record["engines"].get("fast") or {}).get(
             "geomean_instr_per_sec") or 0.0
         summary = f"(fast {fast:,.0f} instr/s)"
+    elif record.get("experiment") == "loadtest":
+        summary = (
+            f"({record.get('mix')} "
+            f"{record.get('throughput_jobs_per_sec') or 0.0:.2f} jobs/s)"
+        )
     else:
         summary = f"(geomean spec {record['geomean'].get('spec', 0):.3f}x)"
     print(f"appended {record['commit'][:12]} @ {record['timestamp']} "

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Gate CI on a ``repro loadtest`` report's SLOs.
+
+Usage::
+
+    python scripts/check_loadtest_slo.py REPORT.json \
+        [--min-jobs-per-sec F] [--max-p99-seconds F] \
+        [--min-coalesce-ratio F] [--max-failed N] \
+        [--baseline BASELINE.json] [--throughput-floor 0.75] \
+        [--p99-ceiling 1.5]
+
+Always-on invariants (no flags needed):
+
+* **Conservation** — the server-side delta must balance:
+  ``submitted == completed + failed``.  A leak here means the scheduler
+  lost a job (or completed one it never admitted), which no amount of
+  throughput excuses.
+* **Client accounting** — every attempted job has a terminal outcome
+  (completed / failed / rejected / error), and error count is zero.
+
+Absolute SLOs apply only when their flag is passed, so smoke jobs can
+pin conservative floors while a perf rig pins aggressive ones.  With
+``--baseline`` the report is also compared relatively, the same way
+``check_perf_regression`` treats perfbench: throughput must stay above
+``floor * baseline`` and p99 below ``ceiling * baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict | None:
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_loadtest_slo: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return None
+    if report.get("experiment") != "loadtest":
+        print(f"check_loadtest_slo: {path} is not a loadtest report",
+              file=sys.stderr)
+        return None
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path)
+    parser.add_argument("--min-jobs-per-sec", type=float, default=None)
+    parser.add_argument("--max-p99-seconds", type=float, default=None)
+    parser.add_argument("--min-coalesce-ratio", type=float, default=None)
+    parser.add_argument("--max-failed", type=int, default=0,
+                        help="allowed failed jobs (default 0)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="prior loadtest report for relative gates")
+    parser.add_argument("--throughput-floor", type=float, default=0.75,
+                        help="fraction of baseline jobs/sec that must "
+                             "be sustained")
+    parser.add_argument("--p99-ceiling", type=float, default=1.5,
+                        help="multiple of baseline p99 that must not "
+                             "be exceeded")
+    args = parser.parse_args(argv)
+
+    report = _load(args.report)
+    if report is None:
+        return 1
+
+    failures: list[str] = []
+    server = report.get("server") or {}
+    client = report.get("client") or {}
+    throughput = report.get("throughput_jobs_per_sec", 0.0)
+    p99 = (report.get("latency_seconds") or {}).get("p99", 0.0)
+    coalesce = server.get("coalesce_ratio", 0.0)
+
+    # Invariants
+    if not server.get("conserved", False):
+        failures.append(
+            "conservation violated: server submitted delta "
+            f"{server.get('submitted_delta')} != completed "
+            f"{server.get('completed_delta')} + failed "
+            f"{server.get('failed_delta')}"
+        )
+    accounted = (client.get("completed", 0) + client.get("failed", 0)
+                 + client.get("rejected", 0) + client.get("errors", 0))
+    if accounted != client.get("attempted", -1):
+        failures.append(
+            f"client accounting broken: attempted "
+            f"{client.get('attempted')} != outcomes {accounted}"
+        )
+    if client.get("errors", 0):
+        failures.append(f"{client['errors']} client-side errors "
+                        "(unreachable/timeout)")
+    if client.get("failed", 0) > args.max_failed:
+        failures.append(
+            f"{client['failed']} failed jobs > allowed {args.max_failed}"
+        )
+
+    # Absolute SLOs
+    if (args.min_jobs_per_sec is not None
+            and throughput < args.min_jobs_per_sec):
+        failures.append(
+            f"throughput {throughput:.3f} jobs/s below SLO "
+            f"{args.min_jobs_per_sec:.3f}"
+        )
+    if args.max_p99_seconds is not None and p99 > args.max_p99_seconds:
+        failures.append(
+            f"p99 latency {p99:.3f}s above SLO {args.max_p99_seconds:.3f}s"
+        )
+    if (args.min_coalesce_ratio is not None
+            and coalesce < args.min_coalesce_ratio):
+        failures.append(
+            f"coalesce ratio {coalesce:.3f} below SLO "
+            f"{args.min_coalesce_ratio:.3f} (cross-job dedup not working)"
+        )
+
+    # Relative SLOs against a baseline report
+    if args.baseline is not None:
+        baseline = _load(args.baseline)
+        if baseline is None:
+            return 1
+        if baseline.get("mix") != report.get("mix"):
+            failures.append(
+                f"mix mismatch vs baseline: {report.get('mix')} vs "
+                f"{baseline.get('mix')}"
+            )
+        base_throughput = baseline.get("throughput_jobs_per_sec", 0.0)
+        floor = args.throughput_floor * base_throughput
+        if throughput < floor:
+            failures.append(
+                f"throughput {throughput:.3f} jobs/s below "
+                f"{args.throughput_floor:.0%} of baseline "
+                f"{base_throughput:.3f}"
+            )
+        base_p99 = (baseline.get("latency_seconds") or {}).get("p99", 0.0)
+        if base_p99 > 0 and p99 > args.p99_ceiling * base_p99:
+            failures.append(
+                f"p99 {p99:.3f}s above {args.p99_ceiling:g}x baseline "
+                f"{base_p99:.3f}s"
+            )
+
+    if failures:
+        print(f"LOADTEST SLO FAILURES ({args.report}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"loadtest SLOs met ({report.get('mix')}): "
+        f"{throughput:.2f} jobs/s, p99 {p99:.3f}s, "
+        f"coalesce {coalesce:.1%}, conserved"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,6 +79,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
 
 def _fail(message: str) -> int:
@@ -736,7 +737,7 @@ def cmd_perfbench(args) -> int:
 def cmd_serve(args) -> int:
     from repro.service.server import run_server
 
-    if args.workers < 1:
+    if args.workers is not None and args.workers < 1:
         return _fail(f"invalid --workers {args.workers}: must be >= 1")
     if args.queue_depth < 1:
         return _fail(f"invalid --queue-depth {args.queue_depth}: "
@@ -747,7 +748,60 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         sim_jobs=args.jobs or 1,
+        pool=args.pool,
     )
+
+
+def cmd_route(args) -> int:
+    from repro.service.router import run_router
+
+    if args.replicas < 1:
+        return _fail(f"invalid --replicas {args.replicas}: must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        return _fail(f"invalid --workers {args.workers}: must be >= 1")
+    return run_router(
+        args.host,
+        args.port,
+        replicas=args.replicas,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        sim_jobs=args.jobs or 1,
+        pool=args.pool,
+        vnodes=args.vnodes,
+    )
+
+
+def cmd_loadtest(args) -> int:
+    from repro.service.client import ServiceUnreachable
+    from repro.service.loadtest import MIXES, run_loadtest, summarize
+
+    if args.rate <= 0:
+        return _fail(f"invalid --rate {args.rate}: must be > 0")
+    if args.mix not in MIXES:
+        return _fail(f"unknown --mix {args.mix}")
+    try:
+        report = run_loadtest(
+            args.host,
+            args.port,
+            rate=args.rate,
+            duration=args.duration,
+            total=args.jobs,
+            mix=args.mix,
+            scale=args.scale,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    except ServiceUnreachable as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"loadtest report -> {args.output}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(summarize(report))
+    return 0
 
 
 def cmd_submit(args) -> int:
@@ -1017,13 +1071,70 @@ def main(argv=None) -> int:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=DEFAULT_PORT,
                               help="listen port (0 picks a free port)")
-    serve_parser.add_argument("--workers", type=int, default=2,
-                              help="concurrent simulation worker threads")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="simulation workers (default: min(cpu, 8),"
+                                   " capped by REPRO_MAX_JOBS)")
+    serve_parser.add_argument("--pool", default="process",
+                              choices=["process", "thread"],
+                              help="worker pool backend (process = one "
+                                   "forked simulator per worker)")
     serve_parser.add_argument("--queue-depth", type=int, default=64,
                               help="max open (queued + running) jobs")
     serve_parser.add_argument("--jobs", type=int, default=None, metavar="N",
                               help="process fan-out per batch "
                                    "(default: in-worker serial)")
+
+    route_parser = sub.add_parser(
+        "route",
+        help="front N spawned serve replicas with a consistent-hash router")
+    route_parser.add_argument("--host", default="127.0.0.1")
+    route_parser.add_argument("--port", type=int, default=8764,
+                              help="router listen port (0 picks a free port)")
+    route_parser.add_argument("--replicas", type=int, default=2,
+                              help="repro serve replicas to spawn")
+    route_parser.add_argument("--workers", type=int, default=None,
+                              help="workers per replica (default: "
+                                   "min(cpu, 8) capped by REPRO_MAX_JOBS)")
+    route_parser.add_argument("--pool", default="process",
+                              choices=["process", "thread"],
+                              help="worker pool backend per replica")
+    route_parser.add_argument("--queue-depth", type=int, default=64,
+                              help="max open jobs per replica")
+    route_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                              help="process fan-out per batch inside each "
+                                   "replica worker")
+    route_parser.add_argument("--vnodes", type=int, default=128,
+                              help="virtual nodes per replica on the "
+                                   "consistent-hash ring")
+
+    loadtest_parser = sub.add_parser(
+        "loadtest",
+        help="open-loop arrival-rate load generator with a JSON SLO report")
+    loadtest_parser.add_argument("--host", default="127.0.0.1")
+    loadtest_parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                                 help="service or router port to drive")
+    loadtest_parser.add_argument("--rate", type=float, default=2.0,
+                                 help="target arrival rate (jobs/sec)")
+    loadtest_parser.add_argument("--duration", type=float, default=5.0,
+                                 help="arrival window in seconds")
+    loadtest_parser.add_argument("--jobs", type=int, default=None,
+                                 metavar="N",
+                                 help="total jobs (overrides rate*duration)")
+    loadtest_parser.add_argument("--mix", default="cold-heavy",
+                                 choices=["cold-heavy", "duplicate-heavy",
+                                          "mixed"],
+                                 help="traffic mix")
+    loadtest_parser.add_argument("--scale", type=float, default=0.05,
+                                 help="base benchmark scale per job")
+    loadtest_parser.add_argument("--seed", type=int, default=0,
+                                 help="schedule jitter seed")
+    loadtest_parser.add_argument("--timeout", type=float, default=300.0,
+                                 help="per-job completion deadline")
+    loadtest_parser.add_argument("--output", default=None, metavar="PATH",
+                                 help="write the JSON report to PATH")
+    loadtest_parser.add_argument("--json", action="store_true",
+                                 help="print the full report JSON instead "
+                                      "of the one-line summary")
 
     submit_parser = sub.add_parser(
         "submit", help="submit one benchmark job to a running server")
@@ -1107,6 +1218,10 @@ def _dispatch(args) -> int:
         return cmd_perfbench(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "route":
+        return cmd_route(args)
+    if args.command == "loadtest":
+        return cmd_loadtest(args)
     if args.command == "submit":
         return cmd_submit(args)
     if args.command == "watch":

@@ -14,6 +14,10 @@ Exposed families::
     repro_queue_jobs{state=...}           gauge
     repro_queue_capacity                  gauge
     repro_queue_draining                  gauge (0/1)
+    repro_workers_total                   gauge (pool size)
+    repro_workers_busy                    gauge (batches executing)
+    repro_worker_batches_total            counter
+    repro_worker_batch_seconds            histogram (+ _sum, _count)
     repro_job_latency_seconds             histogram (+ _sum, _count)
     repro_job_latency_window_seconds{q=}  gauge (ring percentiles)
     repro_queue_wait_window_seconds{q=}   gauge (submit-to-start wait)
@@ -106,6 +110,30 @@ def render_prometheus(snapshot: dict) -> str:
     w.family("repro_queue_draining", "gauge",
              "1 while the queue refuses new jobs during shutdown.")
     w.sample("repro_queue_draining", queue.get("draining", False))
+
+    workers = snapshot.get("workers", {})
+    w.family("repro_workers_total", "gauge",
+             "Configured simulation workers in the pool.")
+    w.sample("repro_workers_total", workers.get("total", 0))
+    w.family("repro_workers_busy", "gauge",
+             "Workers currently executing a batch.")
+    w.sample("repro_workers_busy", workers.get("busy", 0))
+    w.family("repro_worker_batches_total", "counter",
+             "Batches the worker pool has completed.")
+    w.sample("repro_worker_batches_total", workers.get("batches_total", 0))
+    batch_hist = workers.get("batch_seconds") or {}
+    w.family("repro_worker_batch_seconds", "histogram",
+             "Wall-clock duration of worker-pool batches "
+             "(zero-filled while the pool is idle).")
+    cumulative = 0
+    for upper, count in batch_hist.get("buckets", []):
+        cumulative += count
+        le = "+Inf" if upper is None else _fmt(float(upper))
+        w.sample("repro_worker_batch_seconds_bucket", cumulative, {"le": le})
+    if not batch_hist.get("buckets"):
+        w.sample("repro_worker_batch_seconds_bucket", 0, {"le": "+Inf"})
+    w.sample("repro_worker_batch_seconds_sum", batch_hist.get("sum", 0.0))
+    w.sample("repro_worker_batch_seconds_count", batch_hist.get("count", 0))
 
     histogram = snapshot.get("latency_histogram")
     if histogram:

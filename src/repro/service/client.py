@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 
 from repro.service.errors import (
@@ -23,6 +24,32 @@ from repro.service.errors import (
 )
 
 DEFAULT_PORT = 8763
+
+#: Poll-backoff ceiling: a long job is checked at most every ~2s.
+POLL_CAP_SECONDS = 2.0
+POLL_BACKOFF_FACTOR = 1.7
+
+
+def poll_intervals(
+    initial: float = 0.05,
+    cap: float = POLL_CAP_SECONDS,
+    factor: float = POLL_BACKOFF_FACTOR,
+    rng=None,
+):
+    """Yield capped, exponentially growing poll delays with jitter.
+
+    Each delay is the current base times a uniform 0.5–1.5 jitter,
+    clamped to ``cap``.  The jitter decorrelates a fleet of waiting
+    clients (a loadtest, N CI jobs) so their status polls don't arrive
+    in lockstep; the cap bounds worst-case completion-detection lag.
+    ``rng`` is an injection seam for deterministic tests (a callable
+    returning uniform [0, 1) floats).
+    """
+    rng = rng if rng is not None else random.random
+    base = max(0.001, float(initial))
+    while True:
+        yield min(cap, base * (0.5 + rng()))
+        base = min(cap, base * factor)
 
 
 class ServiceUnreachable(ServiceError):
@@ -163,8 +190,13 @@ class ServiceClient:
         """Poll the progress endpoint until terminal, invoking
         ``on_progress(progress_doc)`` on every state/heartbeat change.
         Returns the final progress document (raises :class:`JobFailed`
-        on the failed state, like :meth:`wait`)."""
+        on the failed state, like :meth:`wait`).
+
+        ``poll_interval`` seeds an exponential backoff with jitter
+        (capped at ~2s): early polls stay fast enough to catch short
+        jobs, while long jobs are not hammered at a fixed rate."""
         deadline = time.monotonic() + timeout
+        intervals = poll_intervals(poll_interval)
         last = None
         while True:
             doc = self.progress(job_id)
@@ -179,12 +211,13 @@ class ServiceClient:
                 if doc.get("state") == "failed":
                     raise JobFailed(doc)
                 return doc
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {doc.get('state')} "
                     f"after {timeout:g}s"
                 )
-            time.sleep(poll_interval)
+            time.sleep(min(next(intervals), max(0.0, deadline - now)))
 
     def wait(
         self,
@@ -196,19 +229,24 @@ class ServiceClient:
 
         Raises :class:`JobFailed` on the ``failed`` state and
         :class:`TimeoutError` when the deadline passes first.
+        Polling backs off exponentially with jitter from
+        ``poll_interval`` up to ~2s per probe (see
+        :func:`poll_intervals`).
         """
         deadline = time.monotonic() + timeout
+        intervals = poll_intervals(poll_interval)
         while True:
             doc = self.job(job_id)
             if doc["state"] == "done":
                 return doc
             if doc["state"] == "failed":
                 raise JobFailed(doc)
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise TimeoutError(
                     f"job {job_id} still {doc['state']} after {timeout:g}s"
                 )
-            time.sleep(poll_interval)
+            time.sleep(min(next(intervals), max(0.0, deadline - now)))
 
     def run(self, benchmark: str, *, timeout: float = 600.0, **knobs) -> dict:
         """Submit and wait; returns the simulation report itself."""

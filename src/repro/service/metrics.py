@@ -300,6 +300,13 @@ class ServiceMetrics:
             },
             "cache": self.cache_stats(),
         }
+        # Worker-pool gauges ride every snapshot, zero-filled when no
+        # scheduler (or a stats-less stub) is attached, so the
+        # `repro_workers_*` families never disappear between scrapes.
+        from repro.service.workers import idle_worker_stats
+
+        stats_fn = getattr(scheduler, "worker_stats", None)
+        doc["workers"] = stats_fn() if stats_fn else idle_worker_stats()
         if queue is not None:
             doc["queue"] = queue.stats()
         if scheduler is not None:

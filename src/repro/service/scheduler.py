@@ -2,33 +2,40 @@
 
 The dispatch loop pulls queued jobs in batches, coalesces jobs whose
 ``flight_key`` matches an in-flight execution (single-flight: the
-duplicate attaches to the leader's flight and never simulates), and
-hands each batch of *new* flights to a bounded ``ThreadPoolExecutor``.
+duplicate attaches to the leader's flight and never simulates), shards
+the batch of *new* flights across idle workers, and hands each shard to
+a :class:`repro.service.workers.WorkerPool` — forked processes by
+default, so N workers really are N cores of simulation.
 
 Inside a worker the batch first warms the harness caches through
 ``repro.harness.parallel`` — one ``execute_runs`` call over the union of
 the batch's ``RunSpec``s, optionally fanning out over ``sim_jobs``
 processes — and then builds each request's report from what are now
 pure cache hits.  Repeat requests across batches short-circuit the same
-way: the layered run caches serve them without re-simulating.
+way: the layered run caches (including the shared on-disk store) serve
+them without re-simulating.
 
 Everything that mutates queue/flight state runs on the event loop
-thread; worker threads only execute pure simulation code.  That keeps
+thread; pool workers only execute pure simulation code.  That keeps
 the state machine race-free without fine-grained locking.
 """
 
 from __future__ import annotations
 
 import asyncio
-import functools
 import time
-from concurrent.futures import ThreadPoolExecutor
 
 from repro.obs.progress import ProgressTracker
 from repro.obs.runtime import TRACER
 from repro.service.jobs import Job, JobRequest
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import JobQueue
+from repro.service.workers import (
+    InjectedWorkerPool,
+    WorkerPool,
+    default_workers,
+    make_pool,
+)
 
 
 class Flight:
@@ -136,23 +143,28 @@ class Scheduler:
         queue: JobQueue,
         metrics: ServiceMetrics,
         *,
-        workers: int = 2,
+        workers: int | None = None,
         sim_jobs: int = 1,
         max_batch: int = 8,
         execute_batch_fn=None,
+        pool: str | WorkerPool = "process",
     ) -> None:
         self.queue = queue
         self.metrics = metrics
-        self.workers = max(1, workers)
+        self.workers = max(1, workers) if workers else default_workers()
         self.sim_jobs = max(1, sim_jobs)
         self.max_batch = max(1, max_batch)
         #: Injected executors (tests) keep the legacy two-argument call;
-        #: only the stock executor gets progress/correlation plumbing.
-        self._default_executor = execute_batch_fn is None
-        self._execute_batch = execute_batch_fn or execute_batch
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-sim"
-        )
+        #: only the stock pools get progress/correlation plumbing.
+        if execute_batch_fn is not None:
+            self.pool: WorkerPool = InjectedWorkerPool(
+                self.workers, execute_batch_fn
+            )
+        elif isinstance(pool, WorkerPool):
+            self.pool = pool
+            self.workers = pool.workers
+        else:
+            self.pool = make_pool(pool, self.workers)
         self.flights = FlightTable()
         self._wakeup = asyncio.Event()
         self._tasks: set[asyncio.Task] = set()
@@ -169,13 +181,17 @@ class Scheduler:
     def in_flight(self) -> int:
         return len(self.flights)
 
+    def worker_stats(self) -> dict:
+        """Pool gauges for ``/metrics`` (kind, busy/total, batch times)."""
+        return self.pool.stats()
+
     async def drain(self) -> None:
         """Stop dispatching new work once the queue and flights are empty."""
         self._draining = True
         self.wake()
         if self._loop_task is not None:
             await self._loop_task
-        self._pool.shutdown(wait=True)
+        self.pool.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     async def _run(self) -> None:
@@ -206,11 +222,16 @@ class Scheduler:
                 job.coalesced = True
                 self.metrics.bump("coalesced")
         if new_flights:
-            task = asyncio.get_running_loop().create_task(
-                self._run_flights(new_flights)
-            )
-            self._tasks.add(task)
-            task.add_done_callback(self._tasks.discard)
+            # Shard the batch across workers: one big batch on one
+            # worker would serialize what the pool could parallelize.
+            shards = min(self.workers, len(new_flights))
+            loop = asyncio.get_running_loop()
+            for index in range(shards):
+                task = loop.create_task(
+                    self._run_flights(new_flights[index::shards])
+                )
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
 
     async def _run_flights(self, flights: list[Flight]) -> None:
         requests = [flight.jobs[0].request for flight in flights]
@@ -221,29 +242,21 @@ class Scheduler:
                     "phase": "dispatched",
                     "requests_total": len(requests),
                 }
-        loop = asyncio.get_running_loop()
-        if self._default_executor:
-            # Heartbeats arrive on the worker thread; writing a fresh
-            # dict per update keeps readers race-free without a lock.
-            def on_progress(key, beat):
-                flight = flight_map.get(key)
-                if flight is not None:
-                    for job in list(flight.jobs):
-                        job.progress = beat
+        # Heartbeats arrive on a worker thread (thread pool: live,
+        # mid-batch) or on the loop thread after the batch returns
+        # (process pool: the worker's final beats, merged back); writing
+        # a fresh dict per update keeps readers race-free without a lock.
+        def on_progress(key, beat):
+            flight = flight_map.get(key)
+            if flight is not None:
+                for job in list(flight.jobs):
+                    job.progress = beat
 
-            call = functools.partial(
-                self._execute_batch, requests, self.sim_jobs,
-                progress_cb=on_progress,
-                job_ids={
-                    flight.key: flight.jobs[0].id for flight in flights
-                },
-            )
-        else:
-            call = functools.partial(
-                self._execute_batch, requests, self.sim_jobs
-            )
+        job_ids = {flight.key: flight.jobs[0].id for flight in flights}
         try:
-            outcomes = await loop.run_in_executor(self._pool, call)
+            outcomes = await self.pool.run_batch(
+                requests, self.sim_jobs, job_ids, on_progress
+            )
         except Exception as exc:  # pool broken / executor-level failure
             outcomes = {
                 flight.key: ("error", f"{type(exc).__name__}: {exc}")

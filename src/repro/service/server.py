@@ -64,21 +64,24 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         *,
-        workers: int = 2,
+        workers: int | None = None,
         queue_depth: int = 64,
         sim_jobs: int = 1,
         retention: int = 256,
         max_batch: int = 8,
+        pool: str = "process",
     ) -> None:
         self.host = host
         self.port = port
-        self.workers = workers
         self.queue = JobQueue(depth=queue_depth, retention=retention)
         self.metrics = ServiceMetrics()
         self.scheduler = Scheduler(
             self.queue, self.metrics,
             workers=workers, sim_jobs=sim_jobs, max_batch=max_batch,
+            pool=pool,
         )
+        self.workers = self.scheduler.workers
+        self.pool_kind = self.scheduler.pool.kind
         self._server: asyncio.base_events.Server | None = None
         # Host-runtime telemetry: the service always traces (spans feed
         # the `repro_span_duration_seconds` histograms on /metrics; the
@@ -289,9 +292,10 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = DEFAULT_PORT,
     *,
-    workers: int = 2,
+    workers: int | None = None,
     queue_depth: int = 64,
     sim_jobs: int = 1,
+    pool: str = "process",
 ) -> int:
     """Run a server until SIGTERM/SIGINT, drain, and return 0 (CLI body)."""
 
@@ -299,12 +303,13 @@ def run_server(
         server = ServiceServer(
             host, port,
             workers=workers, queue_depth=queue_depth, sim_jobs=sim_jobs,
+            pool=pool,
         )
         await server.start()
         print(
             f"repro.service listening on http://{server.host}:{server.port} "
-            f"(workers={workers} queue-depth={queue_depth} "
-            f"sim-jobs={sim_jobs})",
+            f"(pool={server.pool_kind} workers={server.workers} "
+            f"queue-depth={queue_depth} sim-jobs={sim_jobs})",
             flush=True,
         )
         stop = asyncio.Event()

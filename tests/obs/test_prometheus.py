@@ -173,3 +173,31 @@ def test_trace_fate_family_zero_filled_without_decisions():
     from repro.obs.decisions import TRACE_FATES
     for fate in TRACE_FATES:
         assert f'repro_trace_fate_total{{fate="{fate}",reason=""}} 0' in text
+
+
+def test_worker_pool_gauges_render():
+    histogram = LatencyHistogram()
+    histogram.observe(0.2)
+    histogram.observe(3.0)
+    snapshot = dict(SNAPSHOT)
+    snapshot["workers"] = {
+        "kind": "process", "total": 4, "busy": 2, "batches_total": 7,
+        "batch_seconds": histogram.summary(),
+    }
+    text = render_prometheus(snapshot)
+    assert "# TYPE repro_workers_total gauge" in text
+    assert "repro_workers_total 4" in text
+    assert "repro_workers_busy 2" in text
+    assert "repro_worker_batches_total 7" in text
+    assert "# TYPE repro_worker_batch_seconds histogram" in text
+    assert "repro_worker_batch_seconds_count 2" in text
+    assert 'repro_worker_batch_seconds_bucket{le="+Inf"} 2' in text
+
+
+def test_worker_pool_gauges_zero_filled_when_idle():
+    text = render_prometheus(ServiceMetrics().snapshot())
+    assert "repro_workers_total 0" in text
+    assert "repro_workers_busy 0" in text
+    assert "repro_worker_batches_total 0" in text
+    assert "repro_worker_batch_seconds_count 0" in text
+    assert 'repro_worker_batch_seconds_bucket{le="+Inf"} 0' in text

@@ -55,3 +55,56 @@ def test_snapshot_shape_includes_queue_and_cache():
     assert "run_memory_hits" in snapshot["cache"]
     assert "runs_simulated" in snapshot["cache"]
     assert snapshot["uptime_seconds"] >= 0
+
+
+def test_snapshot_workers_block_zero_filled_without_scheduler():
+    snapshot = ServiceMetrics().snapshot()
+    workers = snapshot["workers"]
+    assert workers["total"] == 0
+    assert workers["busy"] == 0
+    assert workers["batches_total"] == 0
+    assert workers["batch_seconds"]["count"] == 0
+
+
+def test_snapshot_workers_block_comes_from_scheduler():
+    class FakeScheduler:
+        def in_flight(self):
+            return 0
+
+        def worker_stats(self):
+            return {"kind": "process", "total": 3, "busy": 1,
+                    "batches_total": 5,
+                    "batch_seconds": {"buckets": [], "sum": 1.0, "count": 5}}
+
+    snapshot = ServiceMetrics().snapshot(scheduler=FakeScheduler())
+    assert snapshot["workers"]["kind"] == "process"
+    assert snapshot["workers"]["total"] == 3
+    assert snapshot["workers"]["busy"] == 1
+
+
+def test_snapshot_tolerates_scheduler_without_worker_stats():
+    class BareScheduler:
+        def in_flight(self):
+            return 0
+
+    snapshot = ServiceMetrics().snapshot(scheduler=BareScheduler())
+    assert snapshot["workers"]["total"] == 0
+
+
+def test_poll_intervals_backoff_grows_and_caps():
+    from repro.service.client import poll_intervals
+
+    # rng pinned to 1.0 => each yield is 1.5x the deterministic base.
+    intervals = poll_intervals(0.05, rng=lambda: 1.0)
+    values = [next(intervals) for _ in range(16)]
+    assert values[0] == 0.05 * 1.5
+    # Exponential growth until the cap.
+    for earlier, later in zip(values, values[1:]):
+        assert later >= earlier
+    assert values[-1] == 2.0  # capped
+    assert all(value <= 2.0 for value in values)
+    # Jitter keeps retries from synchronizing: rng low vs high differ.
+    low = next(poll_intervals(0.05, rng=lambda: 0.0))
+    high = next(poll_intervals(0.05, rng=lambda: 1.0))
+    assert low == 0.05 * 0.5
+    assert high == 3 * low
